@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper-scale environment (2,500 synthetic documents, 630 generated
+queries — the scaled-down Section 6.2 setup) is built once per session.
+Every bench writes its result table to ``benchmarks/results/<name>.txt``
+and echoes it to stdout, so the tee'd benchmark log doubles as the
+reproduction record mirrored in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import paper_experiment_config
+from repro.evaluation import build_environment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_env():
+    """The scaled-down paper setup (Section 6.2), built once."""
+    return build_environment(paper_experiment_config())
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Writer: persist a result table and echo it past pytest capture."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, table: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n", encoding="utf-8")
+        sys.stderr.write(f"\n=== {name} ===\n{table}\n")
+
+    return write

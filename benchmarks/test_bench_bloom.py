@@ -1,0 +1,83 @@
+"""Bloom-compressed query processing (related work [13]; DESIGN.md
+extension bench).
+
+Measures, on the paper-scale trained system, the bytes shipped by the
+Bloom intersection chain vs the naive ship-every-posting-list approach
+for conjunctive interpretations of the multi-term test queries, and
+verifies recall preservation (no true conjunctive answer lost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom_search import BloomQueryProcessor
+from repro.evaluation.experiments import build_trained_sprite
+
+
+@pytest.fixture(scope="module")
+def bloom_table(paper_env, record_result):
+    system = build_trained_sprite(paper_env)
+    processor = BloomQueryProcessor(
+        system.protocol,
+        assumed_corpus_size=system.config.assumed_corpus_size,
+        error_rate=0.01,
+    )
+    multi_term = [q for q in paper_env.test.queries if len(q.terms) >= 2][:150]
+    bloom_bytes = 0
+    naive_bytes = 0
+    answered = 0
+    for query in multi_term:
+        ranked, execution = processor.execute(system._issuer_for(query), query)
+        bloom_bytes += execution.bytes_shipped
+        naive_bytes += execution.naive_bytes
+        if len(ranked) > 0:
+            answered += 1
+    table = (
+        f"conjunctive queries evaluated:  {len(multi_term)}\n"
+        f"queries with answers:           {answered}\n"
+        f"naive transfer:                 {naive_bytes / 1024:.0f} KiB\n"
+        f"bloom-chain transfer:           {bloom_bytes / 1024:.0f} KiB\n"
+        f"compression factor:             {naive_bytes / max(1, bloom_bytes):.2f}x"
+    )
+    record_result("bloom_compression", table)
+    return {
+        "bloom_bytes": bloom_bytes,
+        "naive_bytes": naive_bytes,
+        "queries": len(multi_term),
+        "answered": answered,
+        "system": system,
+        "processor": processor,
+        "sample": multi_term,
+    }
+
+
+def test_bench_bloom_chain(benchmark, paper_env, bloom_table) -> None:
+    """Time the Bloom-chain execution over a sample of queries, and
+    assert the compression + recall-preservation claims inline."""
+    system = bloom_table["system"]
+    processor = bloom_table["processor"]
+    sample = bloom_table["sample"][:30]
+
+    def run() -> None:
+        for query in sample:
+            processor.execute(system._issuer_for(query), query)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # Compression must help on aggregate.
+    assert bloom_table["bloom_bytes"] < bloom_table["naive_bytes"]
+
+    # Recall preservation: the bloom answer equals the exact conjunctive
+    # answer computed from raw postings.
+    for query in sample[:10]:
+        issuer = system._issuer_for(query)
+        ranked, __ = processor.execute(issuer, query)
+        exact: set | None = None
+        for term in query.terms:
+            postings, df = system.protocol.fetch_postings(issuer, term)
+            ids = {p.doc_id for p in postings}
+            if df == 0:
+                continue
+            exact = ids if exact is None else exact & ids
+        exact = exact or set()
+        assert set(ranked.ids()) == exact

@@ -1,0 +1,83 @@
+"""Chord routing sanity: lookups resolve in O(log N) hops (paper §2:
+"the lookup function can guarantee a term be found in log N hops").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.config import ChordConfig
+from repro.dht import ChordRing
+
+RING_SIZES = (16, 32, 64, 128, 256, 512)
+LOOKUPS_PER_RING = 400
+
+
+def measure_hops(num_peers: int, seed: int = 5) -> float:
+    ring = ChordRing(ChordConfig(num_peers=num_peers, id_bits=32, seed=seed))
+    rng = random.Random(seed)
+    total = 0
+    for __ in range(LOOKUPS_PER_RING):
+        key = rng.randrange(ring.space.size)
+        total += ring.lookup(ring.random_live_id(rng), key, record=False).hops
+    return total / LOOKUPS_PER_RING
+
+
+@pytest.fixture(scope="module")
+def hop_table(record_result):
+    rows = [(n, measure_hops(n)) for n in RING_SIZES]
+    lines = ["  N    mean hops    log2(N)"]
+    for n, hops in rows:
+        lines.append(f"{n:>4}    {hops:>8.2f}    {math.log2(n):>6.2f}")
+    record_result("chord_hops", "\n".join(lines))
+    return dict(rows)
+
+
+def test_bench_hop_sweep(benchmark, hop_table) -> None:
+    """Generate the hop table (via the fixture) and time one ring's
+    sweep; asserts the logarithmic shape inline so it also holds under
+    --benchmark-only runs."""
+    import math as _math
+
+    benchmark.pedantic(measure_hops, args=(64,), rounds=1, iterations=1)
+    for n, hops in hop_table.items():
+        assert hops <= 1.5 * _math.log2(n)
+
+
+def test_bench_chord_lookup(benchmark) -> None:
+    """Raw lookup latency on a 256-peer ring."""
+    ring = ChordRing(ChordConfig(num_peers=256, id_bits=32, seed=9))
+    rng = random.Random(11)
+    starts = [ring.random_live_id(rng) for __ in range(64)]
+    keys = [rng.randrange(ring.space.size) for __ in range(64)]
+
+    def run() -> None:
+        for start, key in zip(starts, keys):
+            ring.lookup(start, key, record=False)
+
+    benchmark(run)
+
+
+class TestShape:
+    def test_hops_logarithmic_upper_bound(self, hop_table) -> None:
+        for n, hops in hop_table.items():
+            assert hops <= 1.5 * math.log2(n), f"N={n}: {hops:.2f} hops"
+
+    def test_hops_grow_sublinearly(self, hop_table) -> None:
+        """Doubling the ring must add roughly a constant, not double."""
+        assert hop_table[512] < hop_table[16] * 4
+
+    def test_hops_increase_with_ring_size(self, hop_table) -> None:
+        assert hop_table[512] > hop_table[16]
+
+
+def test_bench_construction(benchmark) -> None:
+    """Ring construction/stabilization cost for a 256-peer network."""
+    benchmark.pedantic(
+        lambda: ChordRing(ChordConfig(num_peers=256, id_bits=32, seed=3)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,82 @@
+"""Index construction & maintenance cost (the Section 1 motivation).
+
+"Each term is likely to have been assigned to a different peer, so that
+a single document insertion could require updates in a large fraction of
+the network.  Therefore, the overhead ... is too high to be of
+practical use."
+
+Measured here: publication traffic of SPRITE (selective, learned),
+basic eSearch (static top-20), and the index-everything strawman —
+plus SPRITE's ongoing maintenance (poll) traffic per learning iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.messages import MessageKind
+from repro.evaluation import format_cost, run_cost_comparison
+from repro.evaluation.experiments import build_trained_sprite
+
+
+@pytest.fixture(scope="module")
+def rows(paper_env, record_result):
+    result = run_cost_comparison(paper_env)
+    record_result("cost", format_cost(result))
+    return result
+
+
+def test_bench_cost_comparison(benchmark, paper_env, rows) -> None:
+    benchmark.pedantic(
+        run_cost_comparison, args=(paper_env,), rounds=1, iterations=1
+    )
+
+
+class TestShape:
+    def test_everything_is_an_order_of_magnitude_worse(self, rows) -> None:
+        by_name = {r.strategy: r for r in rows}
+        assert (
+            by_name["index-everything"].publish_messages
+            > 3 * by_name["esearch"].publish_messages
+        )
+
+    def test_sprite_messages_bounded_by_budget(self, rows, paper_env) -> None:
+        """SPRITE publishes ≤ budget + replaced terms per document."""
+        by_name = {r.strategy: r for r in rows}
+        n_docs = len(paper_env.corpus)
+        budget = paper_env.config.sprite.total_terms_after_learning
+        # Replacement churn can add extra publications but stays within
+        # a small multiple of the budget.
+        assert by_name["sprite"].publish_messages <= n_docs * budget * 2
+
+    def test_hops_scale_with_messages(self, rows) -> None:
+        for row in rows:
+            assert row.publish_hops >= row.publish_messages
+
+
+class TestMaintenanceTraffic:
+    def test_bench_poll_traffic_per_iteration(
+        self, benchmark, paper_env, record_result
+    ) -> None:
+        """One learning iteration's poll traffic: messages are 2 per
+        (document, index term) — a poll and a batch reply."""
+        system = build_trained_sprite(paper_env)
+        stats = system.ring.stats
+        before = stats.snapshot()
+        benchmark.pedantic(system.run_learning_iteration, rounds=1, iterations=1)
+        delta = stats.delta_since(before)
+        polls = delta.get(MessageKind.POLL_QUERIES)
+        batches = delta.get(MessageKind.QUERY_BATCH)
+        assert polls is not None and batches is not None
+        assert polls.messages == batches.messages
+        published_terms = system.total_published_terms()
+        assert polls.messages == published_terms
+        lines = [
+            "maintenance traffic, one learning iteration:",
+            f"  documents:        {len(paper_env.corpus)}",
+            f"  published terms:  {published_terms}",
+            f"  poll messages:    {polls.messages}",
+            f"  batch replies:    {batches.messages}",
+            f"  batch bytes:      {batches.bytes}",
+        ]
+        record_result("cost_maintenance", "\n".join(lines))

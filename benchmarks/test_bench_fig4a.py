@@ -1,0 +1,67 @@
+"""Figure 4(a): precision/recall ratio vs number of answers.
+
+Paper shape to hold (not absolute numbers):
+* SPRITE's ratios are roughly constant across K (the paper reports
+  ~89% precision / ~87% recall);
+* eSearch degrades as K grows;
+* SPRITE clearly outperforms eSearch at the larger cutoffs (K ≥ 15);
+* both stay below ~1.0 of the centralized reference overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_fig4a, run_fig4a
+
+ANSWER_COUNTS = (5, 10, 15, 20, 25, 30)
+
+
+@pytest.fixture(scope="module")
+def rows(paper_env, record_result):
+    result = run_fig4a(paper_env, answer_counts=ANSWER_COUNTS)
+    record_result("fig4a", format_fig4a(result))
+    return result
+
+
+def test_bench_fig4a(benchmark, paper_env, rows) -> None:
+    """Time one full Figure 4(a) evaluation sweep (systems pre-built by
+    the fixture run; this measures the experiment end to end once)."""
+    benchmark.pedantic(
+        run_fig4a,
+        args=(paper_env,),
+        kwargs={"answer_counts": (20,)},
+        rounds=1,
+        iterations=1,
+    )
+
+
+class TestShape:
+    def test_sprite_outperforms_esearch_at_large_k(self, rows) -> None:
+        for row in rows:
+            if row.num_answers >= 15:
+                assert row.sprite.precision_ratio > row.esearch.precision_ratio
+
+    def test_esearch_degrades_with_k(self, rows) -> None:
+        first = rows[0].esearch.precision_ratio
+        last = rows[-1].esearch.precision_ratio
+        assert last < first
+
+    def test_sprite_roughly_flat(self, rows) -> None:
+        ratios = [r.sprite.precision_ratio for r in rows]
+        assert max(ratios) - min(ratios) < 0.12
+
+    def test_sprite_near_centralized(self, rows) -> None:
+        for row in rows:
+            assert row.sprite.precision_ratio > 0.75
+
+    def test_partial_indexing_price_paid(self, rows) -> None:
+        """Indexing 20 of ~100+ terms cannot beat full knowledge on
+        average across the sweep."""
+        mean_sprite = sum(r.sprite.precision_ratio for r in rows) / len(rows)
+        assert mean_sprite < 1.05
+
+    def test_recall_tracks_precision_ordering(self, rows) -> None:
+        for row in rows:
+            if row.num_answers >= 15:
+                assert row.sprite.recall_ratio > row.esearch.recall_ratio

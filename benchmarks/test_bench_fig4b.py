@@ -1,0 +1,85 @@
+"""Figure 4(b): effectiveness vs number of indexed terms, under the
+"w/o-r" (no repeats) and "w-zipf" (Zipf slope 0.5) query streams.
+
+Paper shape to hold:
+* at T = 5 no learning has happened → SPRITE and eSearch coincide;
+* SPRITE ≥ eSearch for every T > 5 under both streams;
+* SPRITE@20 is comparable to eSearch@30 ("similar performance with
+  fewer terms");
+* both streams preserve the ordering (SPRITE wins even without repeats).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_fig4b, run_fig4b
+
+TERM_COUNTS = (5, 10, 15, 20, 25, 30)
+
+
+@pytest.fixture(scope="module")
+def rows(paper_env, record_result):
+    result = run_fig4b(paper_env, term_counts=TERM_COUNTS, streams=("w/o-r", "w-zipf"))
+    record_result("fig4b", format_fig4b(result))
+    return result
+
+
+def test_bench_fig4b(benchmark, paper_env, rows) -> None:
+    """Time a single (stream, T) cell end to end."""
+    benchmark.pedantic(
+        run_fig4b,
+        args=(paper_env,),
+        kwargs={"term_counts": (20,), "streams": ("w/o-r",)},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def by_cell(rows):
+    return {(r.stream, r.index_terms): r for r in rows}
+
+
+class TestShape:
+    def test_systems_coincide_at_t5(self, rows) -> None:
+        cells = by_cell(rows)
+        for stream in ("w/o-r", "w-zipf"):
+            row = cells[(stream, 5)]
+            assert row.sprite.precision_ratio == pytest.approx(
+                row.esearch.precision_ratio, abs=1e-9
+            )
+
+    def test_sprite_wins_beyond_t5(self, rows) -> None:
+        cells = by_cell(rows)
+        for stream in ("w/o-r", "w-zipf"):
+            for terms in TERM_COUNTS[1:]:
+                row = cells[(stream, terms)]
+                assert (
+                    row.sprite.precision_ratio
+                    >= row.esearch.precision_ratio - 1e-9
+                ), f"eSearch beat SPRITE at {stream}, T={terms}"
+
+    def test_sprite20_comparable_to_esearch30(self, rows) -> None:
+        cells = by_cell(rows)
+        for stream in ("w/o-r", "w-zipf"):
+            sprite20 = cells[(stream, 20)].sprite.precision_ratio
+            esearch30 = cells[(stream, 30)].esearch.precision_ratio
+            assert sprite20 >= esearch30 - 0.03
+
+    def test_more_terms_help_esearch(self, rows) -> None:
+        cells = by_cell(rows)
+        for stream in ("w/o-r", "w-zipf"):
+            assert (
+                cells[(stream, 30)].esearch.precision_ratio
+                >= cells[(stream, 5)].esearch.precision_ratio - 0.02
+            )
+
+    def test_zipf_stream_not_worse_for_sprite(self, rows) -> None:
+        """Repetition is information: the skewed stream should not hurt
+        SPRITE relative to the adversarial no-repeats stream (compare at
+        the default T=20)."""
+        cells = by_cell(rows)
+        assert (
+            cells[("w-zipf", 20)].sprite.precision_ratio
+            >= cells[("w/o-r", 20)].sprite.precision_ratio - 0.08
+        )

@@ -1,0 +1,69 @@
+"""Figure 4(c): robustness to a query-pattern change.
+
+Ten learning iterations; group A queries drive iterations 1-5, group B
+iterations 6-10; term budget grows to 30, replacement-only afterwards.
+
+Paper shape to hold:
+* SPRITE ≥ eSearch at (almost) every iteration;
+* a dip right after the pattern change (iteration 6);
+* recovery within about one iteration;
+* eSearch frozen after its budget stops growing — its movement at the
+  switch reflects only the query-group change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_fig4c, run_fig4c
+
+
+@pytest.fixture(scope="module")
+def rows(paper_env, record_result):
+    result = run_fig4c(paper_env, iterations=10, switch_at=6, max_terms=30)
+    record_result("fig4c", format_fig4c(result))
+    return result
+
+
+def test_bench_fig4c(benchmark, paper_env, rows) -> None:
+    """Time a compact 4-iteration pattern-change run end to end."""
+    benchmark.pedantic(
+        run_fig4c,
+        args=(paper_env,),
+        kwargs={"iterations": 4, "switch_at": 3, "max_terms": 15},
+        rounds=1,
+        iterations=1,
+    )
+
+
+class TestShape:
+    def test_group_schedule(self, rows) -> None:
+        assert [r.active_group for r in rows] == ["A"] * 5 + ["B"] * 5
+
+    def test_sprite_no_worse_than_esearch(self, rows) -> None:
+        for row in rows:
+            assert (
+                row.sprite.precision_ratio >= row.esearch.precision_ratio - 0.03
+            ), f"iteration {row.iteration}"
+
+    def test_dip_at_pattern_change(self, rows) -> None:
+        """Iteration 6 (first unseen group-B evaluation) must not exceed
+        the settled group-A performance of iteration 5."""
+        settled = rows[4].sprite.precision_ratio
+        dip = rows[5].sprite.precision_ratio
+        assert dip <= settled + 0.02
+
+    def test_recovery_after_one_iteration(self, rows) -> None:
+        dip = rows[5].sprite.precision_ratio
+        recovered = max(r.sprite.precision_ratio for r in rows[6:8])
+        assert recovered >= dip - 0.02
+
+    def test_stable_after_recovery(self, rows) -> None:
+        late = [r.sprite.precision_ratio for r in rows[7:]]
+        assert max(late) - min(late) < 0.12
+
+    def test_term_budget_schedule(self, rows) -> None:
+        assert rows[0].sprite_terms == 5          # evaluated before growth
+        assert rows[5].sprite_terms == 30         # cap reached
+        assert all(r.sprite_terms <= 30 for r in rows)
+        assert rows[-1].esearch_terms == 30

@@ -1,0 +1,109 @@
+"""Algorithm 1 (incremental) vs the naive reprocess-everything learner.
+
+The paper claims Algorithm 1 is (a) equivalent to the naive scheme and
+(b) "very efficient" because each iteration touches only the incremental
+query set Q'.  We verify (a) exactly and measure (b): the incremental
+learner's per-iteration cost stays flat while the naive learner's grows
+linearly with history.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.learning import IncrementalLearner, naive_rank_terms
+from repro.corpus import Document
+
+VOCAB = [f"term{i:02d}" for i in range(40)]
+DOC = Document("bench-doc", " ".join(VOCAB * 3))
+
+
+def make_queries(count: int, seed: int) -> list:
+    rng = random.Random(seed)
+    queries = []
+    for __ in range(count):
+        size = rng.randint(1, 4)
+        queries.append(tuple(rng.sample(VOCAB + ["noise1", "noise2"], size)))
+    return queries
+
+
+BATCH = 200
+ITERATIONS = 8
+
+
+def test_equivalence_across_iterations() -> None:
+    """After every batch, the incremental rank list equals the naive
+    recomputation over the whole history."""
+    learner = IncrementalLearner(DOC)
+    history: list = []
+    for i in range(ITERATIONS):
+        batch = make_queries(BATCH, seed=i)
+        history.extend(batch)
+        learner.observe(batch)
+        assert learner.rank_list() == naive_rank_terms(DOC, history)
+
+
+def test_bench_incremental_iteration(benchmark) -> None:
+    """Cost of one incremental iteration with a long history behind it."""
+    learner = IncrementalLearner(DOC)
+    for i in range(ITERATIONS):
+        learner.observe(make_queries(BATCH, seed=i))
+    fresh = make_queries(BATCH, seed=999)
+    benchmark(lambda: IncrementalLearner(DOC).observe(fresh))
+
+
+def test_bench_naive_full_history(benchmark) -> None:
+    """Cost of the naive learner over the same accumulated history —
+    compare with the incremental bench above."""
+    history: list = []
+    for i in range(ITERATIONS):
+        history.extend(make_queries(BATCH, seed=i))
+    history.extend(make_queries(BATCH, seed=999))
+    benchmark(lambda: naive_rank_terms(DOC, history))
+
+
+def test_bench_learning_speedup(benchmark, record_result) -> None:
+    """Direct measurement of the paper's efficiency claim: per-iteration
+    wall time of the incremental learner must not grow with history,
+    while the naive learner's does."""
+
+    def measure():
+        learner = IncrementalLearner(DOC)
+        history: list = []
+        incremental = []
+        naive = []
+        for i in range(ITERATIONS):
+            batch = make_queries(BATCH, seed=i)
+            history.extend(batch)
+
+            t0 = time.perf_counter()
+            learner.observe(batch)
+            learner.rank_list()
+            incremental.append(time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            naive_rank_terms(DOC, history)
+            naive.append(time.perf_counter() - t0)
+        return incremental, naive
+
+    incremental_times, naive_times = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    lines = ["iter   incremental(ms)   naive(ms)   history"]
+    for i, (inc, nai) in enumerate(zip(incremental_times, naive_times), 1):
+        lines.append(
+            f"{i:>4}   {1000 * inc:>15.2f}   {1000 * nai:>9.2f}   {i * BATCH:>7}"
+        )
+    record_result("learning_speedup", "\n".join(lines))
+
+    # The last naive iteration processes 8× the queries of the first;
+    # the incremental learner's batches are constant-size.  Compare
+    # steady-state medians to damp timer noise.
+    assert naive_times[-1] > naive_times[0] * 2
+    late_incremental = sorted(incremental_times[4:])[len(incremental_times[4:]) // 2]
+    early_incremental = sorted(incremental_times[:4])[2]
+    assert late_incremental < early_incremental * 3 + 1e-3

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Adaptive search: watching SPRITE react to shifting user interests.
+
+A compact version of the paper's Figure 4(c) experiment: the user
+population is interested in one group of topics for a while, then
+switches to another.  Iteration by iteration, the script prints the
+precision of SPRITE and the static eSearch baseline relative to the
+centralized ideal, showing the dip at the switch and the one-iteration
+recovery that only the learning system achieves.
+"""
+
+from __future__ import annotations
+
+from repro import small_experiment_config
+from repro.evaluation import build_environment, run_fig4c
+
+
+def bar(value: float, width: int = 40) -> str:
+    filled = int(max(0.0, min(1.0, value)) * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    print("Building environment and running the pattern-change experiment...")
+    env = build_environment(small_experiment_config())
+    rows = run_fig4c(env, iterations=8, switch_at=5, max_terms=15)
+
+    print("\nPrecision ratio vs centralized (S = SPRITE, e = eSearch):")
+    print(f"{'iter':>4} {'group':>5}  {'SPRITE':<44} {'eSearch'}")
+    for row in rows:
+        switch_marker = " <-- interest shift!" if (
+            row.iteration > 1 and row.active_group != rows[row.iteration - 2].active_group
+        ) else ""
+        print(
+            f"{row.iteration:>4} {row.active_group:>5}  "
+            f"[{bar(row.sprite.precision_ratio)}] {row.sprite.precision_ratio:5.1%}  "
+            f"{row.esearch.precision_ratio:5.1%}{switch_marker}"
+        )
+
+    first_b = rows[4]
+    settled_b = rows[6]
+    print("\nSummary (group B is unseen until the shift, so compare B-vs-B):")
+    print(
+        f"  group B at first sight:   SPRITE {first_b.sprite.precision_ratio:.1%}  "
+        f"vs eSearch {first_b.esearch.precision_ratio:.1%}"
+    )
+    print(
+        f"  group B after re-learning: SPRITE {settled_b.sprite.precision_ratio:.1%}  "
+        f"vs eSearch {settled_b.esearch.precision_ratio:.1%}"
+    )
+    gain = settled_b.sprite.precision_ratio - first_b.sprite.precision_ratio
+    print(
+        f"  SPRITE gained {gain:+.1%} by re-learning the new interest "
+        "profile; the static index cannot move (its terms never change)."
+    )
+
+
+if __name__ == "__main__":
+    main()

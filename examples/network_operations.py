@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Operations tour: the machinery that keeps a SPRITE network healthy.
+
+Walks through the operational features beyond basic retrieval:
+
+1. **Maintenance probing** — owners heartbeat their terms' indexing
+   peers and republish postings lost to crashes (paper Section 1's
+   "periodically probe the indexing peers").
+2. **Hot-term advice** — maintenance-hot terms (huge indexed document
+   frequency, tiny IDF) are discarded and replaced (Section 7(a)).
+3. **Range sharing** — an underloaded peer splits the heaviest peer's
+   arc (Section 7(b) / Ganesan et al.).
+4. **Virtual nodes** — Chord's structural load balancing, for contrast.
+5. **Bloom-compressed conjunctive search** — the message-size remedy of
+   the related work (Reynolds & Vahdat).
+"""
+
+from __future__ import annotations
+
+from repro import small_experiment_config
+from repro.core import BloomQueryProcessor, MaintenanceDaemon
+from repro.dht.virtual import (
+    build_virtual_topology,
+    load_coefficient_of_variation,
+    recommended_vnodes,
+)
+from repro.evaluation import build_environment
+from repro.evaluation.experiments import build_trained_sprite
+from repro.extensions import HotTermAdvisor, RangeSharingBalancer
+
+
+def main() -> None:
+    print("Building and training a SPRITE network...")
+    env = build_environment(small_experiment_config())
+    system = build_trained_sprite(env)
+    print(f"  {system.ring.num_live} peers, {system.total_published_terms()} postings\n")
+
+    # 1. Maintenance: crash a slot-bearing peer, repair, heal.
+    print("1) Maintenance probing and self-healing")
+    daemon = MaintenanceDaemon(system)
+    victim = next(n for n in system.ring.live_ids if system.ring.node(n).store)
+    lost = len(system.ring.node(victim).store)
+    system.ring.fail(victim)
+    system.ring.stabilize()
+    healed = daemon.heal_until_stable()
+    print(f"   crashed a peer holding {lost} term slots")
+    print(f"   maintenance republished {healed} postings; index whole again\n")
+
+    # 2. Hot-term advice.
+    print("2) Hot-term advice (Section 7a)")
+    advisor = HotTermAdvisor(system, df_threshold=max(5, len(env.corpus) // 4))
+    hot_terms, switches = advisor.rebalance()
+    print(f"   hot terms detected: {hot_terms}; document term switches: {switches}\n")
+
+    # 3. Range sharing.
+    print("3) Range-sharing load balance (Section 7b)")
+    balancer = RangeSharingBalancer(system.ring)
+    before = balancer.snapshot().imbalance
+    moves = balancer.rebalance(max_steps=4, target_imbalance=2.0)
+    after = balancer.snapshot().imbalance
+    print(f"   imbalance (heaviest/mean): {before:.2f} -> {after:.2f} "
+          f"after {len(moves)} sharing moves\n")
+
+    # 4. Virtual nodes.
+    print("4) Virtual nodes (structural balancing, for contrast)")
+    peers = 24
+    flat = build_virtual_topology(peers, 1, seed=11)
+    layered = build_virtual_topology(peers, recommended_vnodes(peers), seed=11)
+    import random
+
+    rng = random.Random(1)
+    for i in range(2000):
+        key = rng.randrange(flat.ring.space.size)
+        flat.ring.place(key, i)
+        layered.ring.place(key, i)
+    print(
+        f"   key-load CV with 1 vnode/peer:  "
+        f"{load_coefficient_of_variation(flat.physical_slot_loads()):.2f}"
+    )
+    print(
+        f"   key-load CV with {recommended_vnodes(peers)} vnodes/peer: "
+        f"{load_coefficient_of_variation(layered.physical_slot_loads()):.2f}\n"
+    )
+
+    # 5. Bloom-compressed conjunctive search.
+    print("5) Bloom-compressed conjunctive search (related work [13])")
+    processor = BloomQueryProcessor(
+        system.protocol, assumed_corpus_size=system.config.assumed_corpus_size
+    )
+    bloom_bytes = naive_bytes = 0
+    for query in [q for q in env.test.queries if len(q.terms) >= 2][:40]:
+        __, execution = processor.execute(system._issuer_for(query), query)
+        bloom_bytes += execution.bytes_shipped
+        naive_bytes += execution.naive_bytes
+    print(f"   naive transfer:  {naive_bytes / 1024:.0f} KiB")
+    print(f"   bloom transfer:  {bloom_bytes / 1024:.0f} KiB "
+          f"({naive_bytes / max(1, bloom_bytes):.1f}x smaller)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""One-command reproduction of every figure in the paper's evaluation.
+
+Runs the scaled-down Section 6.2 setup (2,500 synthetic documents, 630
+generated queries) and prints Figure 4(a), 4(b), 4(c), and the index-
+cost comparison.  Takes a few minutes.  For the fast variant used in
+tests, pass --small.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import paper_experiment_config, small_experiment_config
+from repro.evaluation import (
+    build_environment,
+    format_cost,
+    format_fig4a,
+    format_fig4b,
+    format_fig4c,
+    run_cost_comparison,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="run on the small test-sized corpus (seconds instead of minutes)",
+    )
+    args = parser.parse_args()
+    config = small_experiment_config() if args.small else paper_experiment_config()
+
+    t0 = time.time()
+    print("Building environment (corpus, centralized index, query generation)...")
+    env = build_environment(config)
+    print(
+        f"  {len(env.corpus)} documents, {len(env.full_set)} queries "
+        f"({time.time() - t0:.1f}s)\n"
+    )
+
+    print("=" * 60)
+    print("Figure 4(a): effectiveness vs number of answers")
+    print("=" * 60)
+    t = time.time()
+    print(format_fig4a(run_fig4a(env)))
+    print(f"({time.time() - t:.1f}s)\n")
+
+    print("=" * 60)
+    print("Figure 4(b): effectiveness vs number of indexed terms")
+    print("=" * 60)
+    t = time.time()
+    print(format_fig4b(run_fig4b(env)))
+    print(f"({time.time() - t:.1f}s)\n")
+
+    print("=" * 60)
+    print("Figure 4(c): adapting to a query-pattern change")
+    print("=" * 60)
+    t = time.time()
+    print(format_fig4c(run_fig4c(env)))
+    print(f"({time.time() - t:.1f}s)\n")
+
+    print("=" * 60)
+    print("Index construction cost (Section 1 motivation)")
+    print("=" * 60)
+    t = time.time()
+    print(format_cost(run_cost_comparison(env)))
+    print(f"({time.time() - t:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        Show the resolved experiment configuration.
+fig4a       Reproduce Figure 4(a) (effectiveness vs number of answers).
+fig4b       Reproduce Figure 4(b) (effectiveness vs indexed terms).
+fig4c       Reproduce Figure 4(c) (query-pattern change).
+cost        Index-construction cost comparison.
+hops        Chord lookup-hop scaling table.
+search      Interactive-ish demo: train SPRITE and run ad-hoc keyword
+            searches from the command line.
+generate    Synthesize a corpus + query set and save them to a directory
+            (reload with repro.corpus.io.load_collection).
+
+All commands accept ``--small`` (test-sized corpus, seconds) and
+``--seed`` (reproducibility).  Results print as the same tables the
+benchmark harness records, plus ASCII charts of the figure shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .config import (
+    ExperimentConfig,
+    paper_experiment_config,
+    small_experiment_config,
+)
+from .corpus.relevance import Query
+from .evaluation import (
+    build_environment,
+    build_trained_sprite,
+    format_cost,
+    format_fig4a,
+    format_fig4b,
+    format_fig4c,
+    run_cost_comparison,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+)
+from .evaluation.charts import line_chart, ratio_series_from_rows
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    if args.small:
+        return small_experiment_config(seed=args.seed)
+    return paper_experiment_config(seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--small", action="store_true", help="test-sized corpus (runs in seconds)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20070415, help="corpus generation seed"
+    )
+
+
+def _build_env(args: argparse.Namespace, out) -> object:
+    config = _config_from_args(args)
+    t0 = time.time()
+    out.write("building environment...\n")
+    env = build_environment(config)
+    out.write(
+        f"  {len(env.corpus)} documents, {len(env.full_set)} queries "
+        f"({time.time() - t0:.1f}s)\n"
+    )
+    return env
+
+
+def cmd_info(args: argparse.Namespace, out) -> int:
+    config = _config_from_args(args)
+    out.write("experiment configuration:\n")
+    for section in ("corpus", "querygen", "sprite", "esearch", "chord", "workload"):
+        out.write(f"  [{section}]\n")
+        for field_name, value in vars(getattr(config, section)).items():
+            out.write(f"    {field_name} = {value}\n")
+    return 0
+
+
+def cmd_fig4a(args: argparse.Namespace, out) -> int:
+    env = _build_env(args, out)
+    rows = run_fig4a(env)
+    out.write(format_fig4a(rows) + "\n\n")
+    out.write("precision ratio vs number of answers:\n")
+    out.write(line_chart(ratio_series_from_rows(rows, "num_answers")) + "\n")
+    return 0
+
+
+def cmd_fig4b(args: argparse.Namespace, out) -> int:
+    env = _build_env(args, out)
+    rows = run_fig4b(env)
+    out.write(format_fig4b(rows) + "\n")
+    return 0
+
+
+def cmd_fig4c(args: argparse.Namespace, out) -> int:
+    env = _build_env(args, out)
+    rows = run_fig4c(env)
+    out.write(format_fig4c(rows) + "\n\n")
+    out.write("precision ratio per learning iteration:\n")
+    out.write(line_chart(ratio_series_from_rows(rows, "iteration")) + "\n")
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace, out) -> int:
+    env = _build_env(args, out)
+    out.write(format_cost(run_cost_comparison(env)) + "\n")
+    return 0
+
+
+def cmd_hops(args: argparse.Namespace, out) -> int:
+    import math
+    import random
+
+    from .config import ChordConfig
+    from .dht import ChordRing
+
+    out.write("  N    mean hops    log2(N)\n")
+    for n in (16, 32, 64, 128, 256):
+        ring = ChordRing(ChordConfig(num_peers=n, id_bits=32, seed=args.seed))
+        rng = random.Random(args.seed)
+        hops = [
+            ring.lookup(
+                ring.random_live_id(rng), rng.randrange(ring.space.size), record=False
+            ).hops
+            for __ in range(300)
+        ]
+        out.write(
+            f"{n:>4}    {sum(hops) / len(hops):>8.2f}    {math.log2(n):>6.2f}\n"
+        )
+    return 0
+
+
+def cmd_search(args: argparse.Namespace, out) -> int:
+    env = _build_env(args, out)
+    out.write("training SPRITE (share + insert queries + learn)...\n")
+    system = build_trained_sprite(env)
+    terms = tuple(env.corpus.analyzer.analyze_query(" ".join(args.terms)))
+    if not terms:
+        out.write("error: query is empty after analysis\n")
+        return 2
+    query = Query("cli", terms)
+    ranked = system.search(query, top_k=args.top, cache=False)
+    if len(ranked) == 0:
+        sample = ", ".join(env.corpus.vocabulary[:8])
+        out.write(
+            "no results (terms may not be in any document's index).\n"
+            f"hint: the synthetic corpus vocabulary starts: {sample}\n"
+        )
+        return 0
+    out.write(f"results for {' '.join(terms)}:\n")
+    for entry in ranked:
+        out.write(f"  {entry.doc_id}  score={entry.score:.4f}\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    """Assemble benchmarks/results/*.txt into one markdown report."""
+    from pathlib import Path
+
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        out.write(f"error: no results directory at {results_dir}\n")
+        out.write("run `pytest benchmarks/ --benchmark-only` first\n")
+        return 2
+    tables = sorted(results_dir.glob("*.txt"))
+    if not tables:
+        out.write(f"error: no result tables in {results_dir}\n")
+        return 2
+    sections = ["# SPRITE reproduction — benchmark results\n"]
+    for path in tables:
+        sections.append(f"## {path.stem}\n")
+        sections.append("```")
+        sections.append(path.read_text(encoding="utf-8").rstrip())
+        sections.append("```\n")
+    report = "\n".join(sections)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        out.write(f"wrote {args.output} ({len(tables)} sections)\n")
+    else:
+        out.write(report)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace, out) -> int:
+    from .corpus.io import save_collection
+    from .corpus.synthetic import SyntheticTrecCorpus
+
+    config = _config_from_args(args)
+    corpus, query_set, __ = SyntheticTrecCorpus(config.corpus).build()
+    corpus_path, queries_path = save_collection(corpus, query_set, args.output)
+    out.write(f"wrote {corpus_path}\n")
+    out.write(f"wrote {queries_path}\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPRITE (ICDE 2007) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, extra in (
+        ("info", cmd_info, None),
+        ("fig4a", cmd_fig4a, None),
+        ("fig4b", cmd_fig4b, None),
+        ("fig4c", cmd_fig4c, None),
+        ("cost", cmd_cost, None),
+        ("hops", cmd_hops, None),
+    ):
+        p = sub.add_parser(name, help=handler.__doc__)
+        _add_common(p)
+        p.set_defaults(handler=handler)
+
+    p = sub.add_parser("search", help="train SPRITE and run one keyword search")
+    _add_common(p)
+    p.add_argument("terms", nargs="+", help="query keywords")
+    p.add_argument("--top", type=int, default=10, help="answers to return")
+    p.set_defaults(handler=cmd_search)
+
+    p = sub.add_parser("generate", help="synthesize and save a collection")
+    _add_common(p)
+    p.add_argument("output", help="output directory")
+    p.set_defaults(handler=cmd_generate)
+
+    p = sub.add_parser(
+        "report", help="bundle benchmarks/results/*.txt into a markdown report"
+    )
+    p.add_argument(
+        "--results", default="benchmarks/results", help="results directory"
+    )
+    p.add_argument("--output", default="", help="write to this file instead of stdout")
+    p.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

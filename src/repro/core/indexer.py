@@ -1,0 +1,218 @@
+"""The indexing-peer service and its wire protocol.
+
+:class:`IndexingProtocol` encapsulates every interaction between peers
+and the distributed term index: publishing and unpublishing postings,
+registering issued queries into the per-term caches, fetching inverted
+lists during search, and the learning poll with the closest-hash
+deduplication rule of Section 3.
+
+All operations route through the Chord ring (lookup + message send), so
+the network statistics the ring accumulates reflect the true protocol
+cost.  Slot state lives in ``node.store[term_hash]`` so DHT key
+migration and successor replication move it transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dht.messages import (
+    Message,
+    MessageKind,
+    QUERY_HEADER_BYTES,
+    TERM_BYTES,
+    postings_message,
+    publish_message,
+    query_batch_message,
+    search_message,
+)
+from ..dht.ring import ChordRing
+from ..exceptions import NodeFailedError
+from .metadata import CachedQuery, PostingEntry, QueryCache, TermSlot
+
+
+class IndexingProtocol:
+    """Network-level operations on the distributed term index.
+
+    Parameters
+    ----------
+    ring:
+        The Chord overlay carrying the index.
+    query_cache_size:
+        Capacity of each term slot's recent-query cache (Section 3:
+        indexing peers keep only the most recent queries).
+    """
+
+    def __init__(self, ring: ChordRing, query_cache_size: int = 2000) -> None:
+        self.ring = ring
+        self.query_cache_size = query_cache_size
+        self._hash_cache: Dict[str, int] = {}
+
+    # -- hashing ------------------------------------------------------------
+
+    def term_hash(self, term: str) -> int:
+        """Ring position of a term (MD5, memoized)."""
+        h = self._hash_cache.get(term)
+        if h is None:
+            h = self.ring.space.hash_key(term)
+            self._hash_cache[term] = h
+        return h
+
+    def query_hash(self, terms: Sequence[str]) -> int:
+        """Ring position of a whole query (its canonical keyword string);
+        precomputable offline exactly as the paper notes."""
+        return self.ring.space.hash_key("\x1f".join(sorted(terms)))
+
+    # -- slot access ----------------------------------------------------------
+
+    def _locate_slot(
+        self, start_id: int, term: str, create: bool
+    ) -> Tuple[Optional[TermSlot], int, int]:
+        """Route to the indexing peer of *term*; return (slot, node id,
+        lookup hops).  Creates an empty slot on demand when *create*."""
+        result = self.ring.lookup(start_id, self.term_hash(term))
+        node = self.ring.node(result.node_id)
+        if not node.alive:
+            raise NodeFailedError(result.node_id)
+        slot = node.get_or_replica(self.term_hash(term))
+        if slot is None and create:
+            slot = TermSlot(term=term, cache=QueryCache(self.query_cache_size))
+            node.put(self.term_hash(term), slot)
+        return slot, result.node_id, result.hops  # type: ignore[return-value]
+
+    # -- publication (owner → indexing peer) -----------------------------------
+
+    def publish(self, owner_id: int, term: str, posting: PostingEntry) -> int:
+        """Publish one (term, document) posting; returns the hop count
+        of the routed publication message."""
+        slot, node_id, hops = self._locate_slot(owner_id, term, create=True)
+        assert slot is not None
+        slot.add_posting(posting)
+        self.ring.send(publish_message(owner_id, node_id, hops + 1))
+        return hops + 1
+
+    def unpublish(self, owner_id: int, term: str, doc_id: str) -> bool:
+        """Remove a posting during term replacement; True if it existed."""
+        slot, node_id, hops = self._locate_slot(owner_id, term, create=False)
+        self.ring.send(
+            Message(
+                kind=MessageKind.UNPUBLISH_TERM,
+                src=owner_id,
+                dst=node_id,
+                size_bytes=TERM_BYTES + QUERY_HEADER_BYTES,
+                hops=hops + 1,
+            )
+        )
+        if slot is None:
+            return False
+        return slot.remove_posting(doc_id) is not None
+
+    # -- query registration (querying peer → indexing peers) -----------------
+
+    def register_query(self, issuer_id: int, terms: Tuple[str, ...]) -> int:
+        """Cache an issued query at the indexing peer of every query term.
+
+        Section 5.1: "a query is only maintained at peers whose indexing
+        terms contain at least one query term" — i.e. at the peers
+        responsible for the query's own terms.  Returns the number of
+        peers that cached it.
+        """
+        qhash = self.query_hash(terms)
+        cached_at = 0
+        for term in terms:
+            try:
+                slot, __, __ = self._locate_slot(issuer_id, term, create=True)
+            except NodeFailedError:
+                continue
+            assert slot is not None
+            slot.cache.add(terms, qhash)
+            cached_at += 1
+        return cached_at
+
+    # -- search (querying peer → indexing peer) ---------------------------------
+
+    def fetch_postings(
+        self, issuer_id: int, term: str
+    ) -> Tuple[List[PostingEntry], int]:
+        """Retrieve the inverted list and indexed document frequency for
+        one query term.
+
+        Raises :class:`NodeFailedError` if the responsible peer is down
+        (the caller drops the term, per Section 7).  Unindexed terms
+        return an empty list — indistinguishable, at the protocol level,
+        from a term no document chose.
+        """
+        slot, node_id, hops = self._locate_slot(issuer_id, term, create=False)
+        self.ring.send(search_message(issuer_id, node_id, hops + 1))
+        if slot is None:
+            self.ring.send(postings_message(node_id, issuer_id, 0))
+            return [], 0
+        postings = list(slot.inverted.values())
+        self.ring.send(postings_message(node_id, issuer_id, len(postings)))
+        return postings, slot.indexed_document_frequency
+
+    # -- learning poll (owner → indexing peer) ------------------------------------
+
+    def poll_term(
+        self,
+        owner_id: int,
+        term: str,
+        index_term_hashes: Dict[str, int],
+        since: int,
+    ) -> Tuple[List[CachedQuery], int]:
+        """One term's share of an index-update poll.
+
+        The poll message carries *all* the document's global index terms
+        (their hashes); the indexing peer of *term* returns only the
+        cached queries newer than *since* for which *term* is the
+        hash-closest index term among those the query actually contains
+        — the Section 3 deduplication that stops a multi-term query from
+        being shipped back once per matching indexing peer.
+
+        Returns (new queries, latest sequence seen at the slot).
+        """
+        slot, node_id, hops = self._locate_slot(owner_id, term, create=False)
+        self.ring.send(
+            Message(
+                kind=MessageKind.POLL_QUERIES,
+                src=owner_id,
+                dst=node_id,
+                size_bytes=QUERY_HEADER_BYTES + len(index_term_hashes) * TERM_BYTES,
+                hops=hops + 1,
+            )
+        )
+        if slot is None:
+            return [], since
+
+        fresh = slot.cache.since(since)
+        selected: List[CachedQuery] = []
+        for cached in fresh:
+            present = {
+                t: index_term_hashes[t]
+                for t in cached.terms
+                if t in index_term_hashes
+            }
+            if not present:
+                continue
+            closest = self.ring.space.closest_term_to_key(cached.query_hash, present)
+            if closest == term:
+                selected.append(cached)
+        mean_terms = (
+            sum(len(c.terms) for c in selected) / len(selected) if selected else 0.0
+        )
+        self.ring.send(query_batch_message(node_id, owner_id, len(selected), mean_terms))
+        return selected, slot.cache.latest_sequence
+
+    # -- maintenance / inspection ------------------------------------------------
+
+    def slot_snapshot(self, term: str) -> Optional[TermSlot]:
+        """Direct (non-routed) read of a term slot, for tests and
+        benches; does not generate traffic."""
+        node = self.ring.responsible_node(self.term_hash(term))
+        slot = node.get_or_replica(self.term_hash(term))
+        return slot  # type: ignore[return-value]
+
+    def indexed_document_frequency(self, term: str) -> int:
+        """Current n'_k of a term (0 when unindexed); non-routed."""
+        slot = self.slot_snapshot(term)
+        return slot.indexed_document_frequency if slot is not None else 0

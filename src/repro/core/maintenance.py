@@ -1,0 +1,109 @@
+"""Owner-side index maintenance: liveness probing and republication.
+
+The paper's introduction counts this among the costs of a distributed
+inverted index: "it is equally costly for the owner peer to periodically
+probe the indexing peers to ensure that they are still 'alive'" — and
+notes SPRITE makes it affordable by keeping the number of indexed terms
+small.  This module implements the probe loop:
+
+* each maintenance round, every owner sends a heartbeat to the indexing
+  peer of each of its published terms;
+* if the peer is unreachable (crashed before repair) the owner waits —
+  the §7 degraded window;
+* if routing has been repaired and the term now resolves to a *new*
+  responsible peer that lacks the posting (the data died with the old
+  peer and no replica was promoted), the owner **republishes** it — the
+  self-healing path that complements successor replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dht.messages import Message, MessageKind, QUERY_HEADER_BYTES
+from ..exceptions import NodeFailedError
+from .metadata import TermSlot
+from .system import DistributedSystem
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one maintenance round."""
+
+    probes_sent: int = 0
+    peers_unreachable: int = 0
+    postings_intact: int = 0
+    postings_republished: int = 0
+
+    @property
+    def postings_checked(self) -> int:
+        return self.postings_intact + self.postings_republished
+
+
+class MaintenanceDaemon:
+    """Periodic owner-driven probing over a distributed system.
+
+    One daemon serves all owner peers of a system (the simulation
+    equivalent of every owner running its own timer loop).
+    """
+
+    def __init__(self, system: DistributedSystem) -> None:
+        self.system = system
+
+    def run_round(self) -> MaintenanceReport:
+        """Probe every published (document, term) posting once."""
+        report = MaintenanceReport()
+        protocol = self.system.protocol
+        ring = self.system.ring
+
+        for owner in self.system.owners.values():
+            if not ring.is_live(owner.node_id):
+                continue  # a crashed owner probes nothing
+            for doc_id, state in owner.shared.items():
+                for term in list(state.index_terms):
+                    key = protocol.term_hash(term)
+                    try:
+                        result = ring.lookup(owner.node_id, key)
+                    except NodeFailedError:
+                        # Pre-repair window: the responsible peer is down
+                        # and routing still points at it.  Nothing to do
+                        # until stabilization (paper §7, option 1).
+                        report.peers_unreachable += 1
+                        continue
+                    report.probes_sent += 1
+                    ring.send(
+                        Message(
+                            kind=MessageKind.HEARTBEAT,
+                            src=owner.node_id,
+                            dst=result.node_id,
+                            size_bytes=QUERY_HEADER_BYTES,
+                            hops=result.hops + 1,
+                        )
+                    )
+                    node = ring.node(result.node_id)
+                    slot = node.get_or_replica(key)
+                    if (
+                        isinstance(slot, TermSlot)
+                        and doc_id in slot.inverted
+                    ):
+                        report.postings_intact += 1
+                        continue
+                    # The responsible peer has no posting for us: the
+                    # slot died with a failed peer (or a fresh joiner
+                    # took over an empty range).  Republish.
+                    owner._publish_terms_force(state, term)
+                    report.postings_republished += 1
+        return report
+
+    def heal_until_stable(self, max_rounds: int = 5) -> int:
+        """Run rounds until a round republishes nothing (or the budget
+        runs out); returns the total number of republications."""
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        total = 0
+        for __ in range(max_rounds):
+            report = self.run_round()
+            total += report.postings_republished
+            if report.postings_republished == 0 and report.peers_unreachable == 0:
+                break
+        return total

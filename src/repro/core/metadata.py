@@ -1,0 +1,146 @@
+"""Metadata structures of SPRITE (paper Section 5.1).
+
+Indexing-peer state, per term (stored as an opaque slot in the DHT):
+
+* the inverted list — for each document containing the term as a
+  *global index term*: owner address, document id, term frequency, and
+  document length;
+* a bounded cache of the most recently issued queries mentioning the
+  term (the learning fuel), each pre-hashed for the closest-hash
+  deduplication rule of Section 3.
+
+Owner-peer state, per term of a shared document:
+
+* ``qScore`` — the similarity between the document and the most similar
+  historical query containing the term;
+* ``QF`` — the number of historical queries containing the term.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PostingEntry:
+    """One inverted-list entry at an indexing peer.
+
+    Exactly the fields Section 5.1 lists: "the owner peer's IP address,
+    the owner document ID, the term frequency in the document and the
+    document length".  ``owner_peer`` is the owner's node id (our
+    simulation's stand-in for an IP address).
+    """
+
+    doc_id: str
+    owner_peer: int
+    raw_tf: int
+    doc_length: int
+
+    @property
+    def normalized_tf(self) -> float:
+        """t_ik — term frequency normalized by document length."""
+        if self.doc_length <= 0:
+            return 0.0
+        return self.raw_tf / self.doc_length
+
+
+@dataclass(frozen=True)
+class CachedQuery:
+    """A query as cached at an indexing peer.
+
+    ``query_hash`` is precomputed ("every cached query is hashed also,
+    which can be precomputed offline"), and ``sequence`` is the slot's
+    monotone arrival counter that lets owners poll incrementally.
+    """
+
+    terms: Tuple[str, ...]
+    query_hash: int
+    sequence: int
+
+
+class QueryCache:
+    """Bounded most-recent-queries cache (Section 3: "to reduce the
+    storage, each indexing peer maintains only the most recently issued
+    queries").
+
+    The cache is a FIFO of query *arrivals*: re-issuing an identical
+    keyword set appends a fresh entry with a new sequence number, so QF
+    — defined over historical queries, repeats included — reflects query
+    popularity under skewed streams ("w-zipf").  Capacity bounds the
+    number of stored arrivals; the oldest are discarded first.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque = deque()
+        self._next_sequence = 0
+
+    def add(self, terms: Tuple[str, ...], query_hash: int) -> CachedQuery:
+        """Record one issued query; evicts the oldest beyond capacity."""
+        entry = CachedQuery(
+            terms=terms, query_hash=query_hash, sequence=self._next_sequence
+        )
+        self._next_sequence += 1
+        self._entries.append(entry)
+        while len(self._entries) > self.capacity:
+            self._entries.popleft()
+        return entry
+
+    def since(self, sequence: int) -> List[CachedQuery]:
+        """All cached arrivals with sequence strictly greater than
+        *sequence*, oldest first — the incremental set Q' a poll fetches."""
+        return [e for e in self._entries if e.sequence > sequence]
+
+    @property
+    def latest_sequence(self) -> int:
+        """The highest sequence number handed out so far (-1 if none)."""
+        return self._next_sequence - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CachedQuery]:
+        return iter(self._entries)
+
+
+@dataclass
+class TermSlot:
+    """Everything an indexing peer holds for one term: the inverted list
+    plus the query cache.  Stored under the term's ring hash in the DHT,
+    so replication and key migration move it as a unit."""
+
+    term: str
+    inverted: Dict[str, PostingEntry] = field(default_factory=dict)
+    cache: QueryCache = field(default_factory=lambda: QueryCache(capacity=2000))
+
+    @property
+    def indexed_document_frequency(self) -> int:
+        """n'_k — the paper's surrogate for document frequency: the
+        number of documents that chose this term as a global index term."""
+        return len(self.inverted)
+
+    def add_posting(self, entry: PostingEntry) -> None:
+        self.inverted[entry.doc_id] = entry
+
+    def remove_posting(self, doc_id: str) -> Optional[PostingEntry]:
+        return self.inverted.pop(doc_id, None)
+
+
+@dataclass
+class TermStats:
+    """Owner-side per-term learning statistics (Section 5.1(b)):
+    the largest historical qScore and the cumulative query frequency."""
+
+    max_qscore: float = 0.0
+    query_frequency: int = 0
+
+    def absorb(self, qscore: float, additional_qf: int) -> None:
+        """Fold in one poll's worth of evidence: max for qScore
+        (max(S1∪S2) = max(max S1, max S2)), sum for QF (cumulative)."""
+        if qscore > self.max_qscore:
+            self.max_qscore = qscore
+        self.query_frequency += additional_qf

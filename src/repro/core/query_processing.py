@@ -1,0 +1,121 @@
+"""Distributed query processing (paper Section 4).
+
+The querying peer hashes each keyword, visits the responsible indexing
+peers, retrieves the inverted-list entries (term frequency, document
+length, and the *indexed document frequency* counted at the peer), and
+computes similarities locally:
+
+* document-side weight  ``w_ik = t_ik × log(N / n'_k)`` with the fixed
+  large N of Section 4 and the indexed document frequency n'_k;
+* query-side weight     ``w_Qk = log(N / n'_k)``;
+* similarity            Lee et al. second method,
+  ``sim(Q, D) = Σ w_Q·w_D / sqrt(|D|)``.
+
+Terms whose indexing peer is down are dropped from the computation
+(Section 7's first failure-handling option).  Every query executed with
+``cache=True`` is also registered into the per-term query caches — the
+side channel SPRITE's learning feeds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..corpus.relevance import Query
+from ..exceptions import NodeFailedError
+from ..ir.ranking import RankedList
+from ..ir.similarity import lee_similarity
+from ..ir.weighting import TfIdfWeighting
+from .indexer import IndexingProtocol
+
+
+@dataclass
+class QueryExecution:
+    """Diagnostics for one executed query (used by benches and tests)."""
+
+    query_id: str
+    terms_visited: int = 0
+    terms_failed: int = 0
+    postings_retrieved: int = 0
+    candidate_documents: int = 0
+    dropped_terms: List[str] = field(default_factory=list)
+
+
+class QueryProcessor:
+    """Executes keyword queries against the distributed index."""
+
+    def __init__(
+        self,
+        protocol: IndexingProtocol,
+        assumed_corpus_size: int,
+        document_frequency_override: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """``document_frequency_override`` substitutes *true* document
+        frequencies for the indexed document frequencies in the weight
+        computation — an ablation hook for Section 3/4's claim that the
+        indexed frequency n'_k is an adequate (or better) surrogate.
+        Production use leaves it ``None``."""
+        self.protocol = protocol
+        self.weighting = TfIdfWeighting(corpus_size=assumed_corpus_size)
+        self.document_frequency_override = document_frequency_override
+
+    def execute(
+        self,
+        issuer_id: int,
+        query: Query,
+        top_k: int | None = None,
+        cache: bool = True,
+    ) -> Tuple[RankedList, QueryExecution]:
+        """Run *query* from peer *issuer_id*.
+
+        Returns the ranked list (truncated to *top_k* when given) plus
+        per-query execution diagnostics.  With ``cache=True`` the query
+        is registered at its terms' indexing peers first, mirroring the
+        real system where the search request itself populates the cache.
+        """
+        execution = QueryExecution(query_id=query.query_id)
+        if cache:
+            self.protocol.register_query(issuer_id, query.terms)
+
+        query_weights: Dict[str, float] = {}
+        doc_weights: Dict[str, Dict[str, float]] = {}
+        doc_lengths: Dict[str, int] = {}
+
+        for term in query.terms:
+            try:
+                postings, indexed_df = self.protocol.fetch_postings(issuer_id, term)
+            except NodeFailedError:
+                execution.terms_failed += 1
+                execution.dropped_terms.append(term)
+                continue
+            execution.terms_visited += 1
+            if not postings or indexed_df <= 0:
+                continue
+            execution.postings_retrieved += len(postings)
+            df = indexed_df
+            if self.document_frequency_override is not None:
+                df = max(1, self.document_frequency_override.get(term, indexed_df))
+            query_weights[term] = self.weighting.query_weight(df)
+            for posting in postings:
+                doc_weights.setdefault(posting.doc_id, {})[term] = (
+                    self.weighting.document_weight(posting.normalized_tf, df)
+                )
+                doc_lengths[posting.doc_id] = posting.doc_length
+
+        scores = {
+            doc_id: lee_similarity(query_weights, weights, doc_lengths[doc_id])
+            for doc_id, weights in doc_weights.items()
+        }
+        execution.candidate_documents = len(scores)
+        ranked = RankedList(scores)
+        if top_k is not None:
+            ranked = ranked.truncate(top_k)
+        return ranked, execution
+
+    def search(
+        self, issuer_id: int, query: Query, top_k: int | None = None, cache: bool = True
+    ) -> RankedList:
+        """Convenience wrapper returning only the ranked list."""
+        ranked, __ = self.execute(issuer_id, query, top_k=top_k, cache=cache)
+        return ranked

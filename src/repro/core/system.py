@@ -1,0 +1,190 @@
+"""System facades: the distributed base plus SPRITE itself.
+
+:class:`DistributedSystem` wires the substrates together — a Chord ring,
+the indexing protocol, owner peers (one per document-owning node), and
+the distributed query processor.  :class:`SpriteSystem` adds the
+learning loop.  The eSearch baseline (:mod:`repro.core.esearch`)
+inherits the same base so the *only* difference measured by the
+experiments is the term-selection policy, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import ChordConfig, SpriteConfig
+from ..corpus.corpus import Corpus
+from ..corpus.relevance import Query
+from ..dht.ring import ChordRing
+from ..exceptions import LearningError
+from ..ir.ranking import RankedList
+from .indexer import IndexingProtocol
+from .owner import OwnerPeer, SharedDocument
+from .query_processing import QueryExecution, QueryProcessor
+
+
+class DistributedSystem:
+    """Common machinery for DHT-based retrieval systems.
+
+    Parameters
+    ----------
+    corpus:
+        The shared document collection.
+    sprite_config:
+        System parameters; the base class uses the cache size, assumed
+        corpus size, and answer count (term policy is up to subclasses).
+    chord_config:
+        Overlay parameters; ignored when an existing *ring* is supplied.
+    ring:
+        Optionally share a pre-built ring (e.g. for churn experiments
+        that prepare the overlay separately).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        sprite_config: SpriteConfig | None = None,
+        chord_config: ChordConfig | None = None,
+        ring: ChordRing | None = None,
+        scorer=None,
+    ) -> None:
+        from .scoring import combined_score
+
+        self.corpus = corpus
+        self.config = sprite_config if sprite_config is not None else SpriteConfig()
+        self.scorer = scorer if scorer is not None else combined_score
+        self.ring = ring if ring is not None else ChordRing(chord_config)
+        self.protocol = IndexingProtocol(
+            self.ring, query_cache_size=self.config.query_cache_size
+        )
+        self.processor = QueryProcessor(
+            self.protocol, assumed_corpus_size=self.config.assumed_corpus_size
+        )
+        self.owners: Dict[int, OwnerPeer] = {}
+        self._doc_owner: Dict[str, int] = {}
+        self._shared = False
+
+    # -- ownership assignment ------------------------------------------------
+
+    def _owner_node_for(self, doc_id: str) -> int:
+        """Deterministically assign a document to an owning peer by
+        hashing its id onto the ring (documents live where their users
+        are; any stable assignment works)."""
+        return self.ring.successor_of(self.ring.space.hash_key(f"owner:{doc_id}"))
+
+    def owner_of(self, doc_id: str) -> OwnerPeer:
+        """The owner peer responsible for *doc_id*."""
+        try:
+            node_id = self._doc_owner[doc_id]
+        except KeyError:
+            raise LearningError(f"document not shared yet: {doc_id!r}") from None
+        return self.owners[node_id]
+
+    # -- sharing --------------------------------------------------------------
+
+    def _first_terms(self, doc_id: str) -> Optional[List[str]]:
+        """Initial global index terms for a document; ``None`` means
+        "use the owner's default" (top-F frequency).  Subclasses override."""
+        return None
+
+    def share_corpus(self) -> None:
+        """Share every corpus document from its owner peer, publishing
+        the initial global index terms into the DHT."""
+        if self._shared:
+            return
+        for doc in self.corpus:
+            node_id = self._owner_node_for(doc.doc_id)
+            owner = self.owners.get(node_id)
+            if owner is None:
+                owner = OwnerPeer(
+                    node_id, self.protocol, self.config, scorer=self.scorer
+                )
+                self.owners[node_id] = owner
+            owner.share(doc, first_terms=self._first_terms(doc.doc_id))
+            self._doc_owner[doc.doc_id] = node_id
+        self._shared = True
+
+    # -- querying ---------------------------------------------------------------
+
+    def _issuer_for(self, query: Query) -> int:
+        """Deterministically pick the querying peer for a query."""
+        return self.ring.successor_of(
+            self.ring.space.hash_key(f"issuer:{query.query_id}")
+        )
+
+    def register_queries(self, queries: Iterable[Query]) -> int:
+        """Insert query keywords into the system without retrieval —
+        the experiment's training-phase step ("For each query in the
+        training set, the keywords are inserted into SPRITE").  Returns
+        the number of (query, peer) cache registrations."""
+        total = 0
+        for query in queries:
+            total += self.protocol.register_query(self._issuer_for(query), query.terms)
+        return total
+
+    def search(
+        self, query: Query, top_k: int | None = None, cache: bool = True
+    ) -> RankedList:
+        """Execute a query from its (deterministic) querying peer."""
+        k = top_k if top_k is not None else self.config.top_k_answers
+        return self.processor.search(self._issuer_for(query), query, top_k=k, cache=cache)
+
+    def execute(
+        self, query: Query, top_k: int | None = None, cache: bool = True
+    ) -> Tuple[RankedList, QueryExecution]:
+        """Like :meth:`search` but also returns execution diagnostics."""
+        k = top_k if top_k is not None else self.config.top_k_answers
+        return self.processor.execute(self._issuer_for(query), query, top_k=k, cache=cache)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def index_terms(self, doc_id: str) -> List[str]:
+        """Current global index terms of a document."""
+        return self.owner_of(doc_id).index_terms(doc_id)
+
+    def shared_state(self, doc_id: str) -> SharedDocument:
+        """Owner-side state of a shared document (tests/benches)."""
+        return self.owner_of(doc_id)._state(doc_id)
+
+    def total_published_terms(self) -> int:
+        """Total (document, term) pairs currently in the distributed
+        index — the index-size metric of the cost benches."""
+        return sum(
+            len(owner._state(doc_id).index_terms)
+            for owner in self.owners.values()
+            for doc_id in owner.shared
+        )
+
+
+class SpriteSystem(DistributedSystem):
+    """SPRITE: selective progressive index tuning by examples.
+
+    Usage mirrors the paper's experimental flow::
+
+        system = SpriteSystem(corpus)
+        system.share_corpus()                    # 5 initial terms/doc
+        system.register_queries(training_set)    # cache training queries
+        system.run_learning(iterations=3)        # grow to 20 terms/doc
+        ranked = system.search(test_query)
+    """
+
+    def run_learning_iteration(self, target_size: int | None = None) -> None:
+        """One learning pass over every shared document (Section 5.3)."""
+        if not self._shared:
+            raise LearningError("share_corpus() must run before learning")
+        for owner in self.owners.values():
+            owner.learn_all(target_size)
+
+    def run_learning(self, iterations: int | None = None) -> None:
+        """Run the configured number of learning iterations."""
+        count = iterations if iterations is not None else self.config.learning_iterations
+        for __ in range(count):
+            self.run_learning_iteration()
+
+    def learning_summary(self) -> Dict[str, int]:
+        """Distribution of index-set sizes across shared documents."""
+        sizes: Dict[str, int] = {}
+        for owner in self.owners.values():
+            for doc_id in owner.shared:
+                sizes[doc_id] = len(owner.index_terms(doc_id))
+        return sizes

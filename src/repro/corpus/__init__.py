@@ -1,0 +1,55 @@
+"""Corpus substrate: documents, collections, judgments, generators."""
+
+from .corpus import Corpus
+from .document import Document
+from .io import (
+    load_collection,
+    load_corpus,
+    load_query_set,
+    save_collection,
+    save_corpus,
+    save_query_set,
+)
+from .relevance import Qrels, Query, QuerySet
+from .sampling import CategoricalSampler, ZipfSampler, zipf_weights
+from .synthetic import (
+    SyntheticTrecCorpus,
+    TopicModel,
+    build_synthetic_collection,
+    generate_vocabulary,
+)
+from .trec import (
+    iter_ohsumed_documents,
+    iter_trec_documents,
+    load_qrels,
+    load_trec_collection,
+    load_trec_documents,
+    load_trec_topics,
+)
+
+__all__ = [
+    "CategoricalSampler",
+    "Corpus",
+    "Document",
+    "Qrels",
+    "Query",
+    "QuerySet",
+    "SyntheticTrecCorpus",
+    "TopicModel",
+    "ZipfSampler",
+    "build_synthetic_collection",
+    "generate_vocabulary",
+    "iter_ohsumed_documents",
+    "iter_trec_documents",
+    "load_collection",
+    "load_corpus",
+    "load_qrels",
+    "load_query_set",
+    "save_collection",
+    "save_corpus",
+    "save_query_set",
+    "load_trec_collection",
+    "load_trec_documents",
+    "load_trec_topics",
+    "zipf_weights",
+]

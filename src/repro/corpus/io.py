@@ -1,0 +1,139 @@
+"""Persistence for corpora and query sets.
+
+Building the paper-scale environment takes seconds-to-minutes (corpus
+synthesis + deep centralized rankings for the query generator), so this
+module lets harness users snapshot the expensive artifacts to disk as
+gzipped JSON and reload them instantly — handy for iterating on system
+parameters without re-running generation.
+
+Formats are versioned, plain-JSON structures; nothing pickled, so files
+are portable and diff-able.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Tuple
+
+from ..exceptions import CorpusError
+from .corpus import Corpus
+from .document import Document
+from .relevance import Qrels, Query, QuerySet
+
+FORMAT_VERSION = 1
+
+
+def _open_for_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_corpus(corpus: Corpus, path: Path | str) -> None:
+    """Write a corpus to JSON (gzip when the path ends in .gz)."""
+    path = Path(path)
+    payload = {
+        "format": "repro-corpus",
+        "version": FORMAT_VERSION,
+        "documents": [
+            {"doc_id": doc.doc_id, "text": doc.text, "title": doc.title}
+            for doc in corpus
+        ],
+    }
+    with _open_for_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def load_corpus(path: Path | str) -> Corpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    path = Path(path)
+    with _open_for_read(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-corpus":
+        raise CorpusError(f"not a corpus file: {path}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise CorpusError(
+            f"unsupported corpus format version: {payload.get('version')!r}"
+        )
+    return Corpus(
+        Document(doc_id=d["doc_id"], text=d["text"], title=d.get("title", ""))
+        for d in payload["documents"]
+    )
+
+
+def save_query_set(query_set: QuerySet, path: Path | str) -> None:
+    """Write a query set (queries + qrels) to JSON (.gz aware)."""
+    path = Path(path)
+    payload = {
+        "format": "repro-queries",
+        "version": FORMAT_VERSION,
+        "queries": [
+            {
+                "query_id": q.query_id,
+                "terms": list(q.terms),
+                "origin_id": q.origin_id,
+            }
+            for q in query_set
+        ],
+        "qrels": {
+            qid: sorted(query_set.qrels.relevant(qid)) for qid in query_set.qrels
+        },
+    }
+    with _open_for_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def load_query_set(path: Path | str) -> QuerySet:
+    """Read a query set written by :func:`save_query_set`."""
+    path = Path(path)
+    with _open_for_read(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-queries":
+        raise CorpusError(f"not a query-set file: {path}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise CorpusError(
+            f"unsupported query-set format version: {payload.get('version')!r}"
+        )
+    queries = [
+        Query(
+            query_id=q["query_id"],
+            terms=tuple(q["terms"]),
+            origin_id=q.get("origin_id", ""),
+        )
+        for q in payload["queries"]
+    ]
+    qrels = Qrels({qid: set(docs) for qid, docs in payload["qrels"].items()})
+    return QuerySet(queries, qrels)
+
+
+def save_collection(
+    corpus: Corpus, query_set: QuerySet, directory: Path | str, compress: bool = True
+) -> Tuple[Path, Path]:
+    """Save corpus + query set into a directory; returns the two paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".json.gz" if compress else ".json"
+    corpus_path = directory / f"corpus{suffix}"
+    queries_path = directory / f"queries{suffix}"
+    save_corpus(corpus, corpus_path)
+    save_query_set(query_set, queries_path)
+    return corpus_path, queries_path
+
+
+def load_collection(directory: Path | str) -> Tuple[Corpus, QuerySet]:
+    """Load a directory written by :func:`save_collection`."""
+    directory = Path(directory)
+    for suffix in (".json.gz", ".json"):
+        corpus_path = directory / f"corpus{suffix}"
+        queries_path = directory / f"queries{suffix}"
+        if corpus_path.exists() and queries_path.exists():
+            return load_corpus(corpus_path), load_query_set(queries_path)
+    raise CorpusError(f"no saved collection found in {directory}")

@@ -1,0 +1,48 @@
+"""Chord DHT substrate: ring, nodes, routing, churn, replication."""
+
+from .bloom import BloomFilter, intersection_plan
+from .churn import ChurnEvent, ChurnModel
+from .hashing import IdSpace, md5_hash
+from .messages import (
+    ADDRESS_BYTES,
+    ALL_KINDS,
+    Message,
+    MessageKind,
+    POSTING_BYTES,
+    QUERY_HEADER_BYTES,
+    TERM_BYTES,
+    postings_message,
+    publish_message,
+    query_batch_message,
+    search_message,
+)
+from .node import ChordNode
+from .replication import ReplicationManager
+from .ring import ChordRing, LookupResult
+from .stats import KindStats, NetworkStats
+
+__all__ = [
+    "ADDRESS_BYTES",
+    "ALL_KINDS",
+    "BloomFilter",
+    "ChordNode",
+    "ChordRing",
+    "ChurnEvent",
+    "ChurnModel",
+    "IdSpace",
+    "KindStats",
+    "LookupResult",
+    "Message",
+    "MessageKind",
+    "NetworkStats",
+    "POSTING_BYTES",
+    "QUERY_HEADER_BYTES",
+    "ReplicationManager",
+    "TERM_BYTES",
+    "intersection_plan",
+    "md5_hash",
+    "postings_message",
+    "publish_message",
+    "query_batch_message",
+    "search_message",
+]

@@ -1,0 +1,120 @@
+"""Bloom filters for compressed multi-term query processing.
+
+The paper's related work (Section 2) cites Reynolds & Vahdat: "bloom
+filter is employed to compress the message size" during P2P keyword
+search.  For a conjunctive multi-term query, instead of every indexing
+peer shipping its full posting list to the querying peer, the peer with
+the *rarest* term sends a Bloom filter of its document ids to the next
+peer, which intersects and forwards, and only the final (small)
+candidate set travels with full metadata.
+
+This module provides the filter itself plus the intersection protocol
+sizing math; :class:`repro.core.bloom_search.BloomQueryProcessor` wires
+it into the query path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Iterator, List, Sequence
+
+
+class BloomFilter:
+    """A classic Bloom filter over string keys.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of inserted keys.
+    error_rate:
+        Target false-positive probability at *capacity* insertions.
+
+    Bit count and hash count follow the standard optima:
+    ``m = -n·ln(p) / ln(2)²`` and ``k = (m/n)·ln(2)``.
+    """
+
+    def __init__(self, capacity: int, error_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError("error_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.error_rate = error_rate
+        self.num_bits = max(
+            8, int(math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        )
+        self.num_hashes = max(1, int(round((self.num_bits / capacity) * math.log(2))))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _positions(self, key: str) -> Iterator[int]:
+        """k bit positions via double hashing of one MD5 digest."""
+        digest = hashlib.md5(key.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    # -- core operations --------------------------------------------------------
+
+    def add(self, key: str) -> None:
+        """Insert a key."""
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._count += 1
+
+    def update(self, keys: Iterable[str]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(key)
+        )
+
+    def __len__(self) -> int:
+        """Number of insertions performed (not distinct keys)."""
+        return self._count
+
+    # -- sizing / transfer --------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the filter (its bit array)."""
+        return len(self._bits)
+
+    @property
+    def expected_false_positive_rate(self) -> float:
+        """FP probability at the current fill level."""
+        if self._count == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.num_hashes * self._count / self.num_bits)
+        return fill ** self.num_hashes
+
+    def filter_candidates(self, keys: Sequence[str]) -> List[str]:
+        """Keys of *keys* that may be members (includes false positives,
+        never excludes true members)."""
+        return [key for key in keys if key in self]
+
+    @classmethod
+    def from_keys(
+        cls, keys: Sequence[str], error_rate: float = 0.01
+    ) -> "BloomFilter":
+        """Build a filter sized for exactly these keys."""
+        bloom = cls(capacity=max(1, len(keys)), error_rate=error_rate)
+        bloom.update(keys)
+        return bloom
+
+
+def intersection_plan(list_sizes: Sequence[int]) -> List[int]:
+    """Order posting lists for the Bloom intersection chain.
+
+    Rarest first: starting from the smallest list minimizes both the
+    first filter's size and every intermediate candidate set.  Returns
+    the indices of *list_sizes* in visit order.
+    """
+    return sorted(range(len(list_sizes)), key=lambda i: (list_sizes[i], i))

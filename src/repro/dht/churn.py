@@ -1,0 +1,98 @@
+"""Churn modelling: joins, graceful leaves, and crash failures.
+
+The paper's Section 7 discusses peers that "join and leave the network
+when some queries are being processed".  :class:`ChurnModel` drives the
+ring through reproducible membership-change schedules so the churn
+benches can measure retrieval degradation with and without the
+replication scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..exceptions import EmptyRingError
+from .ring import ChordRing
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change applied to the ring."""
+
+    kind: str          # "join" | "leave" | "fail"
+    node_id: int
+
+
+class ChurnModel:
+    """Reproducible churn driver for a :class:`ChordRing`.
+
+    All stochastic choices come from the model's own ``random.Random``
+    so churn schedules replay identically for a given seed.
+    """
+
+    def __init__(self, ring: ChordRing, seed: int = 64317) -> None:
+        self.ring = ring
+        self.rng = random.Random(seed)
+        self.history: List[ChurnEvent] = []
+
+    # -- individual events ---------------------------------------------------
+
+    def fail_random(self) -> int:
+        """Crash one uniformly random live node; returns its id."""
+        victim = self.ring.random_live_id(self.rng)
+        self.ring.fail(victim)
+        self.history.append(ChurnEvent("fail", victim))
+        return victim
+
+    def leave_random(self) -> int:
+        """Gracefully remove one random live node; returns its id."""
+        if self.ring.num_live <= 1:
+            raise EmptyRingError("cannot remove the last live node")
+        victim = self.ring.random_live_id(self.rng)
+        self.ring.leave(victim)
+        self.history.append(ChurnEvent("leave", victim))
+        return victim
+
+    def join_one(self) -> int:
+        """Add one new peer with a random identity; returns its id."""
+        node_id = self.ring.join(name=f"churn-joiner-{self.rng.randint(0, 1 << 30)}")
+        self.history.append(ChurnEvent("join", node_id))
+        return node_id
+
+    # -- bulk schedules --------------------------------------------------------
+
+    def fail_fraction(self, fraction: float) -> List[int]:
+        """Crash ``fraction`` of the live nodes simultaneously (a
+        correlated-failure burst); returns the victim ids.
+
+        The ring is *not* stabilized afterwards — callers decide whether
+        to measure the pre-repair window or call ``stabilize`` first.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        count = int(self.ring.num_live * fraction)
+        victims: List[int] = []
+        for __ in range(count):
+            if self.ring.num_live <= 1:
+                break
+            victims.append(self.fail_random())
+        return victims
+
+    def session_churn(self, rounds: int, p_fail: float = 0.5) -> List[ChurnEvent]:
+        """Alternating join/fail churn: each round one node fails (with
+        probability *p_fail*) or one joins, then the ring stabilizes —
+        the steady-state churn regime of a long-lived network."""
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        events: List[ChurnEvent] = []
+        for __ in range(rounds):
+            if self.ring.num_live > 2 and self.rng.random() < p_fail:
+                victim = self.fail_random()
+                events.append(ChurnEvent("fail", victim))
+            else:
+                joined = self.join_one()
+                events.append(ChurnEvent("join", joined))
+            self.ring.stabilize()
+        return events

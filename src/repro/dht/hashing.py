@@ -1,0 +1,94 @@
+"""Ring identifier space and MD5 hashing.
+
+The paper (Section 6): "We implemented Chord as designed in [15].  All
+terms are hashed using MD5 hash function."  :class:`IdSpace` wraps the
+modular arithmetic of an m-bit Chord identifier circle and the MD5
+mapping from strings (terms, queries, peer names) to ring positions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+def md5_hash(key: str, bits: int) -> int:
+    """MD5-hash *key* onto an m-bit identifier ring.
+
+    The 128-bit MD5 digest is truncated to the most significant *bits*
+    bits, matching the standard Chord construction.
+    """
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (128 - bits) if bits < 128 else value
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """An m-bit circular identifier space with Chord interval arithmetic."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 128:
+            raise ValueError("bits must be in [1, 128]")
+
+    @property
+    def size(self) -> int:
+        """Number of positions on the ring (2^bits)."""
+        return 1 << self.bits
+
+    def hash_key(self, key: str) -> int:
+        """Map a string key onto the ring with MD5."""
+        return md5_hash(key, self.bits)
+
+    def hash_keys(self, keys: Iterable[str]) -> List[int]:
+        """Hash several keys."""
+        return [self.hash_key(k) for k in keys]
+
+    def distance(self, a: int, b: int) -> int:
+        """Clockwise distance from *a* to *b* (0 when equal)."""
+        return (b - a) % self.size
+
+    def in_interval(self, x: int, a: int, b: int, inclusive_right: bool = True) -> bool:
+        """Whether *x* lies in the clockwise interval (a, b] (or (a, b)).
+
+        Chord's key-ownership test: node *b* owns key *x* iff *x* ∈
+        (predecessor(b), b].  Handles wrap-around; when ``a == b`` the
+        interval covers the whole ring (single-node case).
+        """
+        if a == b:
+            return True if inclusive_right else x != a
+        d_ab = self.distance(a, b)
+        d_ax = self.distance(a, x)
+        if inclusive_right:
+            return 0 < d_ax <= d_ab
+        return 0 < d_ax < d_ab
+
+    def finger_start(self, node_id: int, index: int) -> int:
+        """Start of finger *index* (0-based): ``(n + 2^index) mod 2^m``."""
+        if not 0 <= index < self.bits:
+            raise ValueError(f"finger index out of range: {index}")
+        return (node_id + (1 << index)) % self.size
+
+    def closest_term_to_key(self, key_hash: int, term_hashes: dict) -> str:
+        """Of several candidate terms, the one whose hash is closest to
+        *key_hash* by absolute ring distance (min of both directions),
+        with deterministic lexicographic tie-break.
+
+        This implements the paper's closest-hash query-deduplication
+        rule (Section 3): a cached query is returned only by the
+        indexing peer of the single global index term closest in hash
+        space to the query's own hash.
+        """
+        if not term_hashes:
+            raise ValueError("no candidate terms")
+
+        def ring_gap(term: str) -> tuple:
+            h = term_hashes[term]
+            forward = self.distance(key_hash, h)
+            backward = self.distance(h, key_hash)
+            return (min(forward, backward), term)
+
+        return min(term_hashes, key=ring_gap)

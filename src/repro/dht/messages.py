@@ -1,0 +1,107 @@
+"""Typed inter-peer messages with size accounting.
+
+Every inter-peer interaction in the simulation is expressed as a
+:class:`Message` so the network cost of index construction, maintenance
+polling, and query processing can be *measured* rather than estimated
+(DESIGN.md "simulation honesty" convention).  Sizes are modelled in
+abstract bytes: a term ≈ 8 bytes, a posting entry ≈ 24 bytes (doc id,
+owner address, TF, length), a query ≈ 8 bytes per term — the constants
+are centralized here so cost benches state their units precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class MessageKind(Enum):
+    """Every message type exchanged by peers in the reproduction."""
+
+    LOOKUP = "lookup"                       # Chord routing step
+    PUBLISH_TERM = "publish_term"           # owner → indexing peer: add posting
+    UNPUBLISH_TERM = "unpublish_term"       # owner → indexing peer: remove posting
+    POLL_QUERIES = "poll_queries"           # owner → indexing peer: index update poll
+    QUERY_BATCH = "query_batch"             # indexing peer → owner: cached queries
+    SEARCH_TERM = "search_term"             # querying peer → indexing peer
+    POSTINGS = "postings"                   # indexing peer → querying peer
+    REPLICATE = "replicate"                 # indexing peer → successor(s)
+    HEARTBEAT = "heartbeat"                 # liveness probe
+    ADVISE_HOT_TERM = "advise_hot_term"     # §7 load-balance advice
+
+
+#: Abstract size constants (bytes) used by the cost model.
+TERM_BYTES = 8
+POSTING_BYTES = 24
+QUERY_HEADER_BYTES = 16
+ADDRESS_BYTES = 6
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single simulated network message.
+
+    ``hops`` is the number of overlay hops the message traversed (1 for
+    a direct peer-to-peer send once the address is known, ``1 + lookup
+    hops`` when a DHT lookup was needed first).
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    size_bytes: int = QUERY_HEADER_BYTES
+    hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if self.hops < 0:
+            raise ValueError("hops must be >= 0")
+
+
+def publish_message(src: int, dst: int, hops: int) -> Message:
+    """An index-publication message (one term + one posting)."""
+    return Message(
+        kind=MessageKind.PUBLISH_TERM,
+        src=src,
+        dst=dst,
+        size_bytes=TERM_BYTES + POSTING_BYTES,
+        hops=hops,
+    )
+
+
+def search_message(src: int, dst: int, hops: int) -> Message:
+    """A per-term search request."""
+    return Message(
+        kind=MessageKind.SEARCH_TERM,
+        src=src,
+        dst=dst,
+        size_bytes=TERM_BYTES + QUERY_HEADER_BYTES,
+        hops=hops,
+    )
+
+
+def postings_message(src: int, dst: int, num_postings: int) -> Message:
+    """The inverted-list reply for one term."""
+    return Message(
+        kind=MessageKind.POSTINGS,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_postings * POSTING_BYTES,
+    )
+
+
+def query_batch_message(src: int, dst: int, num_queries: int, terms_per_query: float) -> Message:
+    """A batch of cached queries returned during a learning poll."""
+    return Message(
+        kind=MessageKind.QUERY_BATCH,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES
+        + int(num_queries * (QUERY_HEADER_BYTES + terms_per_query * TERM_BYTES)),
+    )
+
+
+#: All kinds, for table-driven tests.
+ALL_KINDS: Tuple[MessageKind, ...] = tuple(MessageKind)

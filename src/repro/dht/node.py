@@ -1,0 +1,101 @@
+"""A Chord node: identifier, routing state, and key-value storage.
+
+Routing state follows Stoica et al. (SIGCOMM'01): an m-entry finger
+table (``finger[i] = successor(n + 2^i)``), a predecessor pointer, and a
+successor list of configurable length (the §7 replication substrate).
+Application payloads (inverted-list slots, query caches) are opaque
+objects kept in ``store`` keyed by ring position; ``replicas`` holds
+copies pushed by predecessors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .hashing import IdSpace
+
+
+class ChordNode:
+    """One peer in the simulated Chord overlay.
+
+    The node knows only its own routing tables; all inter-node knowledge
+    flows through the ring simulator, which is what makes the measured
+    hop counts meaningful.
+    """
+
+    def __init__(self, node_id: int, space: IdSpace) -> None:
+        self.node_id = node_id
+        self.space = space
+        self.alive = True
+        self.predecessor: Optional[int] = None
+        self.successor: int = node_id
+        #: Successor list, nearest first (excludes self unless singleton).
+        self.successor_list: List[int] = []
+        #: finger[i] = first live node ≥ (node_id + 2^i); m entries.
+        self.fingers: List[int] = [node_id] * space.bits
+        #: Application payload: ring position → opaque slot object.
+        self.store: Dict[int, object] = {}
+        #: Replicated payloads received from predecessors.
+        self.replicas: Dict[int, object] = {}
+
+    # -- routing -----------------------------------------------------------
+
+    def owns(self, key: int) -> bool:
+        """Chord ownership test: key ∈ (predecessor, self]."""
+        if self.predecessor is None:
+            return True
+        return self.space.in_interval(key, self.predecessor, self.node_id)
+
+    def closest_preceding_finger(
+        self, key: int, is_usable: Callable[[int], bool]
+    ) -> int:
+        """The finger-table entry closest to but preceding *key*.
+
+        Scans fingers from farthest to nearest, skipping entries the
+        caller deems unusable (failed nodes); returns ``self.node_id``
+        when no finger helps, which terminates the lookup loop at the
+        successor.
+        """
+        for finger in reversed(self.fingers):
+            if finger == self.node_id:
+                continue
+            if not is_usable(finger):
+                continue
+            if self.space.in_interval(finger, self.node_id, key, inclusive_right=False):
+                return finger
+        return self.node_id
+
+    def first_live_successor(self, is_usable: Callable[[int], bool]) -> Optional[int]:
+        """The nearest usable entry of the successor list (or the plain
+        successor pointer), used to route around a failed successor."""
+        if is_usable(self.successor):
+            return self.successor
+        for candidate in self.successor_list:
+            if candidate != self.node_id and is_usable(candidate):
+                return candidate
+        return None
+
+    # -- storage ----------------------------------------------------------
+
+    def put(self, key: int, value: object) -> None:
+        """Store an application payload at this node."""
+        self.store[key] = value
+
+    def get(self, key: int) -> Optional[object]:
+        """Fetch a payload (primary copy only)."""
+        return self.store.get(key)
+
+    def get_or_replica(self, key: int) -> Optional[object]:
+        """Fetch a payload, falling back to a replica copy."""
+        value = self.store.get(key)
+        if value is not None:
+            return value
+        return self.replicas.get(key)
+
+    def drop(self, key: int) -> Optional[object]:
+        """Remove and return a payload."""
+        return self.store.pop(key, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.alive else "failed"
+        return f"ChordNode(id={self.node_id}, {state}, keys={len(self.store)})"

@@ -1,0 +1,322 @@
+"""The Chord ring simulator.
+
+Implements the protocol of Stoica et al. as a discrete simulation: the
+ring holds every :class:`~repro.dht.node.ChordNode`, delivers messages,
+and rebuilds routing state on membership change (the effect of Chord's
+``stabilize`` + ``fix_fingers`` having converged).  Lookups are executed
+*iteratively using only per-node finger tables*, so the hop counts the
+simulator reports are genuine protocol measurements, not ``log N``
+formulas.
+
+Membership events supported:
+
+* :meth:`join` — a new peer joins; keys it now owns migrate from its
+  successor (Chord's key-transfer on join).
+* :meth:`leave` — graceful departure; keys hand over to the successor.
+* :meth:`fail` — crash-stop; the node's primary keys are lost unless a
+  replication manager has pushed copies to its successors (Section 7).
+* :meth:`stabilize` — converge all routing tables to the current live
+  membership, as Chord's periodic stabilization eventually does.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import ChordConfig
+from ..exceptions import DHTError, EmptyRingError, NodeFailedError, NodeNotFoundError
+from .hashing import IdSpace, md5_hash
+from .messages import Message
+from .node import ChordNode
+from .stats import NetworkStats
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one DHT lookup: responsible node, hop count, path."""
+
+    node_id: int
+    hops: int
+    path: Tuple[int, ...] = field(default=())
+
+
+class ChordRing:
+    """A complete simulated Chord network.
+
+    Parameters
+    ----------
+    config:
+        Ring parameters (peer count, id bits, successor-list size).
+    node_ids:
+        Optional explicit node identifiers (for white-box tests);
+        normally ids are derived by hashing peer names, as the Chord
+        paper hashes IP addresses.
+    """
+
+    def __init__(
+        self,
+        config: ChordConfig | None = None,
+        node_ids: Optional[List[int]] = None,
+    ) -> None:
+        self.config = config if config is not None else ChordConfig()
+        self.space = IdSpace(self.config.id_bits)
+        self.stats = NetworkStats()
+        self.nodes: Dict[int, ChordNode] = {}
+        self._live_sorted: List[int] = []
+        self._rng = random.Random(self.config.seed)
+
+        ids = node_ids if node_ids is not None else self._generate_ids(self.config.num_peers)
+        for node_id in ids:
+            self._insert_node(node_id)
+        self.stabilize()
+
+    # -- construction -----------------------------------------------------
+
+    def _generate_ids(self, count: int) -> List[int]:
+        """Hash synthetic peer names onto the ring, skipping collisions."""
+        ids: List[int] = []
+        seen = set()
+        salt = self._rng.randint(0, 1 << 30)
+        i = 0
+        while len(ids) < count:
+            node_id = md5_hash(f"peer-{salt}-{i}", self.space.bits)
+            i += 1
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            ids.append(node_id)
+        return ids
+
+    def _insert_node(self, node_id: int) -> ChordNode:
+        if node_id in self.nodes:
+            raise DHTError(f"duplicate node id: {node_id}")
+        node = ChordNode(node_id, self.space)
+        self.nodes[node_id] = node
+        insort(self._live_sorted, node_id)
+        return node
+
+    # -- membership views ----------------------------------------------------
+
+    @property
+    def live_ids(self) -> List[int]:
+        """Sorted ids of all live nodes."""
+        return list(self._live_sorted)
+
+    @property
+    def num_live(self) -> int:
+        return len(self._live_sorted)
+
+    def node(self, node_id: int) -> ChordNode:
+        """Fetch a node object by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def is_live(self, node_id: int) -> bool:
+        """Whether *node_id* is present and has not failed."""
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
+    def random_live_id(self, rng: random.Random | None = None) -> int:
+        """A uniformly random live node (for picking querying peers)."""
+        if not self._live_sorted:
+            raise EmptyRingError("no live nodes")
+        return (rng or self._rng).choice(self._live_sorted)
+
+    # -- global successor oracle (used to *build* routing state only) -----
+
+    def successor_of(self, key: int) -> int:
+        """The live node responsible for *key* (global knowledge).
+
+        This oracle is used only to construct routing tables (the state
+        Chord's stabilization protocol converges to) and as the ground
+        truth in tests; lookups themselves never call it.
+        """
+        if not self._live_sorted:
+            raise EmptyRingError("no live nodes")
+        idx = bisect_left(self._live_sorted, key)
+        if idx == len(self._live_sorted):
+            idx = 0
+        return self._live_sorted[idx]
+
+    def predecessor_of(self, node_id: int) -> int:
+        """The live node immediately preceding *node_id* on the ring."""
+        if not self._live_sorted:
+            raise EmptyRingError("no live nodes")
+        idx = bisect_left(self._live_sorted, node_id)
+        return self._live_sorted[idx - 1] if idx > 0 else self._live_sorted[-1]
+
+    # -- routing-state convergence ------------------------------------------
+
+    def stabilize(self) -> None:
+        """Rebuild every live node's routing state for the current
+        membership (the fixed point of Chord's stabilize/fix_fingers)."""
+        if not self._live_sorted:
+            return
+        r = self.config.successor_list_size
+        n = len(self._live_sorted)
+        for node_id in self._live_sorted:
+            node = self.nodes[node_id]
+            idx = bisect_left(self._live_sorted, node_id)
+            node.successor = self._live_sorted[(idx + 1) % n]
+            node.predecessor = self._live_sorted[(idx - 1) % n]
+            node.successor_list = [
+                self._live_sorted[(idx + 1 + j) % n] for j in range(min(r, n - 1))
+            ] or [node_id]
+            node.fingers = [
+                self.successor_of(self.space.finger_start(node_id, i))
+                for i in range(self.space.bits)
+            ]
+
+    # -- lookups (finger-table routing, authentic hop counts) ----------------
+
+    def lookup(self, start_id: int, key: int, record: bool = True) -> LookupResult:
+        """Iteratively resolve the node responsible for *key*, starting
+        from *start_id*, using only finger tables and successor lists.
+
+        Raises :class:`NodeFailedError` if routing terminates at a node
+        that has crashed but whose failure has not yet been repaired by
+        :meth:`stabilize` — the window the paper's Section 7 discusses.
+        """
+        if not self._live_sorted:
+            raise EmptyRingError("no live nodes")
+        start = self.node(start_id)
+        if not start.alive:
+            raise NodeFailedError(start_id)
+
+        current = start
+        hops = 0
+        path = [current.node_id]
+        max_steps = 2 * self.space.bits + len(self._live_sorted)
+
+        while True:
+            if current.owns(key):
+                result = LookupResult(current.node_id, hops, tuple(path))
+                break
+            # The routing-state successor (may be stale after failures):
+            # if it is this key's owner but has crashed and no repair has
+            # run yet, the key is unreachable — the paper's "down" peer
+            # window (Section 7).  Intermediate routing, by contrast, may
+            # freely skip dead fingers via the successor list.
+            raw_successor = current.successor
+            if self.space.in_interval(key, current.node_id, raw_successor):
+                if not self.is_live(raw_successor):
+                    raise NodeFailedError(raw_successor)
+                hops += 1
+                path.append(raw_successor)
+                result = LookupResult(raw_successor, hops, tuple(path))
+                break
+            nxt = current.closest_preceding_finger(key, self.is_live)
+            if nxt == current.node_id:
+                live_succ = current.first_live_successor(self.is_live)
+                if live_succ is None or live_succ == current.node_id:
+                    raise NodeFailedError(raw_successor)
+                nxt = live_succ
+            hops += 1
+            if hops > max_steps:
+                raise DHTError(f"lookup did not converge for key {key}")
+            path.append(nxt)
+            current = self.node(nxt)
+
+        if record:
+            self.stats.record_lookup(result.hops)
+        return result
+
+    def lookup_term(self, start_id: int, term: str, record: bool = True) -> LookupResult:
+        """Lookup the indexing peer responsible for a term (MD5-hashed)."""
+        return self.lookup(start_id, self.space.hash_key(term), record=record)
+
+    def send(self, message: Message) -> None:
+        """Deliver an application message and account for it.
+
+        Raises :class:`NodeFailedError` when the destination crashed.
+        """
+        dst = self.nodes.get(message.dst)
+        if dst is None:
+            raise NodeNotFoundError(message.dst)
+        if not dst.alive:
+            raise NodeFailedError(message.dst)
+        self.stats.record(message)
+
+    # -- membership changes -------------------------------------------------
+
+    def join(self, node_id: Optional[int] = None, name: str | None = None) -> int:
+        """A new peer joins; keys it now owns migrate from its successor.
+
+        Returns the new node's id.  Routing state is re-converged
+        immediately (call this between, not during, lookups).
+        """
+        if node_id is None:
+            base = name if name is not None else f"joiner-{self._rng.randint(0, 1 << 30)}"
+            node_id = md5_hash(base, self.space.bits)
+            while node_id in self.nodes:
+                node_id = (node_id + 1) % self.space.size
+        if node_id in self.nodes and self.nodes[node_id].alive:
+            raise DHTError(f"node id already live: {node_id}")
+        self.nodes.pop(node_id, None)
+        new_node = self._insert_node(node_id)
+
+        # Key transfer: entries in (predecessor(new), new] move from the
+        # (old) successor to the new node.
+        if len(self._live_sorted) > 1:
+            successor = self.nodes[self.successor_of((node_id + 1) % self.space.size)]
+            pred = self.predecessor_of(node_id)
+            moving = [
+                key
+                for key in successor.store
+                if self.space.in_interval(key, pred, node_id)
+            ]
+            for key in moving:
+                new_node.store[key] = successor.store.pop(key)
+        self.stabilize()
+        return node_id
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: hand all keys to the successor first."""
+        node = self.node(node_id)
+        if not node.alive:
+            raise NodeFailedError(node_id)
+        if len(self._live_sorted) <= 1:
+            raise EmptyRingError("cannot remove the last live node")
+        idx = bisect_left(self._live_sorted, node_id)
+        successor = self.nodes[self._live_sorted[(idx + 1) % len(self._live_sorted)]]
+        successor.store.update(node.store)
+        node.store.clear()
+        node.alive = False
+        self._live_sorted.pop(idx)
+        del self.nodes[node_id]
+        self.stabilize()
+
+    def fail(self, node_id: int) -> None:
+        """Crash-stop failure: no key handover, no immediate repair.
+
+        The node stays in other nodes' routing tables until
+        :meth:`stabilize` runs — lookups during that window may raise
+        :class:`NodeFailedError`, modelling the paper's "down" peers.
+        """
+        node = self.node(node_id)
+        if not node.alive:
+            return
+        node.alive = False
+        idx = bisect_left(self._live_sorted, node_id)
+        if idx < len(self._live_sorted) and self._live_sorted[idx] == node_id:
+            self._live_sorted.pop(idx)
+
+    # -- key placement helpers (application API) -----------------------------
+
+    def responsible_node(self, key: int) -> ChordNode:
+        """The live node currently responsible for *key* (post-repair
+        ground truth; applications use :meth:`lookup` for routed access)."""
+        return self.nodes[self.successor_of(key)]
+
+    def place(self, key: int, value: object) -> int:
+        """Directly place a payload at the responsible node (bootstrap
+        helper used when constructing initial state without simulating
+        the insertion traffic).  Returns the holding node's id."""
+        node = self.responsible_node(key)
+        node.put(key, value)
+        return node.node_id

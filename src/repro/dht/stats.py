@@ -1,0 +1,129 @@
+"""Network-cost accounting.
+
+:class:`NetworkStats` aggregates every :class:`~repro.dht.messages.Message`
+the simulator delivers, broken down by message kind, so experiments can
+report *measured* message counts, bytes, and hop totals for index
+construction vs. maintenance vs. query processing — the costs the
+paper's introduction argues about.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .messages import Message, MessageKind
+
+
+@dataclass
+class KindStats:
+    """Aggregate counters for one message kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    hops: int = 0
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        self.hops += msg.hops
+
+    def merged_with(self, other: "KindStats") -> "KindStats":
+        return KindStats(
+            messages=self.messages + other.messages,
+            bytes=self.bytes + other.bytes,
+            hops=self.hops + other.hops,
+        )
+
+
+class NetworkStats:
+    """Per-kind and total message/byte/hop counters.
+
+    Supports *checkpoints*: ``snapshot()`` returns an immutable copy, and
+    ``delta_since(snapshot)`` gives the traffic between then and now —
+    how the cost benches isolate e.g. "messages per learning iteration".
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: Dict[MessageKind, KindStats] = defaultdict(KindStats)
+        self._lookup_hop_samples: List[int] = []
+
+    def record(self, msg: Message) -> None:
+        """Account for one delivered message."""
+        self._by_kind[msg.kind].record(msg)
+
+    def record_lookup(self, hops: int) -> None:
+        """Record the hop count of one completed DHT lookup."""
+        self._lookup_hop_samples.append(hops)
+        self._by_kind[MessageKind.LOOKUP].messages += 1
+        self._by_kind[MessageKind.LOOKUP].hops += hops
+
+    # -- reading -----------------------------------------------------------
+
+    def kind(self, kind: MessageKind) -> KindStats:
+        """Counters for one kind (zeros if never seen)."""
+        return self._by_kind.get(kind, KindStats())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self._by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self._by_kind.values())
+
+    @property
+    def total_hops(self) -> int:
+        return sum(s.hops for s in self._by_kind.values())
+
+    @property
+    def lookup_hop_samples(self) -> List[int]:
+        """Raw per-lookup hop counts (for hop-distribution benches)."""
+        return list(self._lookup_hop_samples)
+
+    @property
+    def mean_lookup_hops(self) -> float:
+        """Mean hops per lookup (0.0 when no lookups happened)."""
+        if not self._lookup_hop_samples:
+            return 0.0
+        return sum(self._lookup_hop_samples) / len(self._lookup_hop_samples)
+
+    def snapshot(self) -> Dict[MessageKind, KindStats]:
+        """An immutable-enough copy of the current per-kind counters."""
+        return {
+            k: KindStats(s.messages, s.bytes, s.hops)
+            for k, s in self._by_kind.items()
+        }
+
+    def delta_since(
+        self, snapshot: Dict[MessageKind, KindStats]
+    ) -> Dict[MessageKind, KindStats]:
+        """Per-kind traffic recorded after *snapshot* was taken."""
+        delta: Dict[MessageKind, KindStats] = {}
+        for kind, now in self._by_kind.items():
+            then = snapshot.get(kind, KindStats())
+            d = KindStats(
+                messages=now.messages - then.messages,
+                bytes=now.bytes - then.bytes,
+                hops=now.hops - then.hops,
+            )
+            if d.messages or d.bytes or d.hops:
+                delta[kind] = d
+        return delta
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._by_kind.clear()
+        self._lookup_hop_samples.clear()
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """A plain-dict summary for printing/reporting."""
+        return {
+            kind.value: {
+                "messages": s.messages,
+                "bytes": s.bytes,
+                "hops": s.hops,
+            }
+            for kind, s in sorted(self._by_kind.items(), key=lambda kv: kv[0].value)
+        }

@@ -1,0 +1,120 @@
+"""Virtual nodes: Chord's native load-balancing mechanism.
+
+Stoica et al. note that with N physical peers, a peer may own an arc
+(and hence a key share) Θ(log N) times the average; running O(log N)
+*virtual nodes* per physical peer evens the distribution.  This module
+maps multiple ring positions onto each physical peer and measures the
+resulting key-load distribution — complementing the Section 7
+range-sharing remedy with the standard structural one.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import ChordConfig
+from ..exceptions import ConfigurationError
+from .hashing import md5_hash
+from .ring import ChordRing
+
+
+@dataclass(frozen=True)
+class VirtualTopology:
+    """A ring plus the virtual-id → physical-peer assignment."""
+
+    ring: ChordRing
+    peer_of: Dict[int, int]          # virtual node id → physical peer index
+    vnodes_per_peer: int
+    num_peers: int
+
+    def physical_peers(self) -> List[int]:
+        return list(range(self.num_peers))
+
+    def virtual_ids_of(self, peer: int) -> List[int]:
+        """All ring positions operated by one physical peer."""
+        return sorted(v for v, p in self.peer_of.items() if p == peer)
+
+    def physical_slot_loads(self) -> Dict[int, int]:
+        """Primary-slot count per *physical* peer (aggregating its
+        virtual nodes)."""
+        loads = {peer: 0 for peer in range(self.num_peers)}
+        for node_id in self.ring.live_ids:
+            peer = self.peer_of.get(node_id)
+            if peer is not None:
+                loads[peer] += len(self.ring.node(node_id).store)
+        return loads
+
+    def physical_arc_shares(self) -> Dict[int, float]:
+        """Fraction of the identifier circle owned per physical peer."""
+        shares = {peer: 0.0 for peer in range(self.num_peers)}
+        ids = self.ring.live_ids
+        size = self.ring.space.size
+        for node_id in ids:
+            pred = self.ring.predecessor_of(node_id)
+            arc = self.ring.space.distance(pred, node_id) / size
+            peer = self.peer_of.get(node_id)
+            if peer is not None:
+                shares[peer] += arc
+        return shares
+
+
+def build_virtual_topology(
+    num_peers: int,
+    vnodes_per_peer: int,
+    id_bits: int = 32,
+    successor_list_size: int = 4,
+    seed: int = 4111,
+) -> VirtualTopology:
+    """Construct a ring where each physical peer runs *vnodes_per_peer*
+    virtual nodes at independent hash positions."""
+    if num_peers < 1:
+        raise ConfigurationError("num_peers must be >= 1")
+    if vnodes_per_peer < 1:
+        raise ConfigurationError("vnodes_per_peer must be >= 1")
+
+    peer_of: Dict[int, int] = {}
+    node_ids: List[int] = []
+    for peer in range(num_peers):
+        for v in range(vnodes_per_peer):
+            node_id = md5_hash(f"peer-{seed}-{peer}/vnode-{v}", id_bits)
+            while node_id in peer_of:
+                node_id = (node_id + 1) % (1 << id_bits)
+            peer_of[node_id] = peer
+            node_ids.append(node_id)
+
+    ring = ChordRing(
+        ChordConfig(
+            num_peers=len(node_ids),
+            id_bits=id_bits,
+            successor_list_size=successor_list_size,
+            seed=seed,
+        ),
+        node_ids=node_ids,
+    )
+    return VirtualTopology(
+        ring=ring,
+        peer_of=peer_of,
+        vnodes_per_peer=vnodes_per_peer,
+        num_peers=num_peers,
+    )
+
+
+def load_coefficient_of_variation(loads: Dict[int, int] | Dict[int, float]) -> float:
+    """Std-dev over mean of per-peer loads — 0 means perfectly even."""
+    values = list(loads.values())
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return statistics.pstdev(values) / mean
+
+
+def recommended_vnodes(num_peers: int) -> int:
+    """The Chord paper's guidance: O(log N) virtual nodes per peer."""
+    if num_peers < 1:
+        raise ConfigurationError("num_peers must be >= 1")
+    return max(1, int(round(math.log2(max(2, num_peers)))))

@@ -1,0 +1,56 @@
+"""Evaluation harness: metrics, environments, per-figure experiments."""
+
+from .experiment import (
+    Environment,
+    build_environment,
+    build_environment_from_collection,
+)
+from .experiments import (
+    CostRow,
+    Fig4aRow,
+    Fig4bRow,
+    Fig4cRow,
+    build_esearch,
+    build_trained_sprite,
+    run_cost_comparison,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+)
+from .metrics import (
+    AggregateResult,
+    PrecisionRecall,
+    RelativeResult,
+    aggregate,
+    evaluate_rankings,
+    precision_recall_at,
+    relative_to_centralized,
+)
+from .reporting import format_cost, format_fig4a, format_fig4b, format_fig4c
+
+__all__ = [
+    "AggregateResult",
+    "CostRow",
+    "Environment",
+    "Fig4aRow",
+    "Fig4bRow",
+    "Fig4cRow",
+    "PrecisionRecall",
+    "RelativeResult",
+    "aggregate",
+    "build_environment",
+    "build_environment_from_collection",
+    "build_esearch",
+    "build_trained_sprite",
+    "evaluate_rankings",
+    "format_cost",
+    "format_fig4a",
+    "format_fig4b",
+    "format_fig4c",
+    "precision_recall_at",
+    "relative_to_centralized",
+    "run_cost_comparison",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+]

@@ -1,0 +1,338 @@
+"""Per-figure experiment runners.
+
+One function per paper artifact (see DESIGN.md's experiment index):
+
+* :func:`run_fig4a` — precision/recall ratio vs number of answers;
+* :func:`run_fig4b` — precision ratio vs number of indexed terms under
+  the "w/o-r" and "w-zipf" query streams;
+* :func:`run_fig4c` — ratio over learning iterations with a query-
+  pattern change at iteration 6;
+* :func:`run_cost_comparison` — index construction/maintenance traffic,
+  SPRITE vs eSearch vs index-everything (the Section 1 motivation).
+
+The benches in ``benchmarks/`` are thin wrappers that time these and
+print the rows; examples reuse them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional, Sequence
+
+from ..config import ESearchConfig, SpriteConfig
+from ..core.esearch import ESearchSystem
+from ..core.system import SpriteSystem
+from ..corpus.relevance import Query
+from ..dht.messages import MessageKind
+from ..ir.ranking import RankedList
+from .experiment import Environment
+from .metrics import RelativeResult, relative_to_centralized
+
+StreamKind = Literal["default", "w/o-r", "w-zipf"]
+
+
+# ---------------------------------------------------------------------------
+# System construction helpers
+# ---------------------------------------------------------------------------
+
+def build_trained_sprite(
+    env: Environment,
+    sprite_config: SpriteConfig | None = None,
+    training_queries: Optional[Sequence[Query]] = None,
+) -> SpriteSystem:
+    """The paper's Section 6.2 pipeline: share documents with the
+    initial terms, insert the training queries, run the configured
+    learning iterations."""
+    cfg = sprite_config if sprite_config is not None else env.config.sprite
+    system = SpriteSystem(
+        env.corpus, sprite_config=cfg, chord_config=env.config.chord
+    )
+    system.share_corpus()
+    queries = (
+        training_queries if training_queries is not None else list(env.train.queries)
+    )
+    system.register_queries(queries)
+    system.run_learning()
+    return system
+
+
+def build_esearch(
+    env: Environment, index_terms: int | None = None
+) -> ESearchSystem:
+    """The static baseline at a given term budget."""
+    base = env.config.esearch
+    cfg = ESearchConfig(
+        index_terms=index_terms if index_terms is not None else base.index_terms,
+        assumed_corpus_size=base.assumed_corpus_size,
+        top_k_answers=base.top_k_answers,
+    )
+    system = ESearchSystem(env.corpus, esearch_config=cfg, chord_config=env.config.chord)
+    system.share_corpus()
+    return system
+
+
+def _rank_all(
+    system, queries: Sequence[Query], top_k: int, cache: bool = False
+) -> Dict[str, RankedList]:
+    return {
+        q.query_id: system.search(q, top_k=top_k, cache=cache) for q in queries
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 4(a): effectiveness vs number of answers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig4aRow:
+    """One cutoff's worth of Figure 4(a)."""
+
+    num_answers: int
+    sprite: RelativeResult
+    esearch: RelativeResult
+
+
+def run_fig4a(
+    env: Environment,
+    answer_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
+) -> List[Fig4aRow]:
+    """Reproduce Figure 4(a): both systems trained at the default 20-term
+    budget, evaluated at varying answer-list sizes K."""
+    sprite = build_trained_sprite(env)
+    esearch = build_esearch(env)
+    deepest = max(answer_counts)
+    test_queries = list(env.test.queries)
+
+    sprite_rankings = _rank_all(sprite, test_queries, deepest)
+    esearch_rankings = _rank_all(esearch, test_queries, deepest)
+    central_rankings = env.centralized_rankings(test_queries)
+
+    rows: List[Fig4aRow] = []
+    for k in answer_counts:
+        rows.append(
+            Fig4aRow(
+                num_answers=k,
+                sprite=relative_to_centralized(
+                    sprite_rankings, central_rankings, env.test.qrels, k
+                ),
+                esearch=relative_to_centralized(
+                    esearch_rankings, central_rankings, env.test.qrels, k
+                ),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4(b): effectiveness vs number of indexed terms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig4bRow:
+    """One (stream, term budget) cell of Figure 4(b)."""
+
+    stream: StreamKind
+    index_terms: int
+    sprite: RelativeResult
+    esearch: RelativeResult
+
+
+def _training_stream(env: Environment, stream: StreamKind) -> List[Query]:
+    from ..querygen.workload import without_repeats_stream, zipf_stream
+
+    if stream == "w/o-r":
+        return without_repeats_stream(env.train, seed=env.config.workload.seed)
+    if stream == "w-zipf":
+        return zipf_stream(env.train, env.config.workload)
+    return list(env.train.queries)
+
+
+def run_fig4b(
+    env: Environment,
+    term_counts: Sequence[int] = (5, 10, 15, 20, 25, 30),
+    streams: Sequence[StreamKind] = ("w/o-r", "w-zipf"),
+) -> List[Fig4bRow]:
+    """Reproduce Figure 4(b): vary the indexed-term budget T under the
+    no-repeats and Zipf query streams.  At T = 5 no learning happens and
+    the two systems coincide by construction."""
+    k = env.config.sprite.top_k_answers
+    test_queries = list(env.test.queries)
+    central_rankings = env.centralized_rankings(test_queries)
+
+    rows: List[Fig4bRow] = []
+    for stream in streams:
+        training = _training_stream(env, stream)
+        for terms in term_counts:
+            sprite_cfg = env.config.sprite.with_max_terms(terms)
+            sprite = build_trained_sprite(env, sprite_cfg, training)
+            esearch = build_esearch(env, index_terms=terms)
+            rows.append(
+                Fig4bRow(
+                    stream=stream,
+                    index_terms=terms,
+                    sprite=relative_to_centralized(
+                        _rank_all(sprite, test_queries, k),
+                        central_rankings,
+                        env.test.qrels,
+                        k,
+                    ),
+                    esearch=relative_to_centralized(
+                        _rank_all(esearch, test_queries, k),
+                        central_rankings,
+                        env.test.qrels,
+                        k,
+                    ),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4(c): adapting to a query-pattern change
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig4cRow:
+    """One learning iteration of Figure 4(c)."""
+
+    iteration: int
+    active_group: str
+    sprite: RelativeResult
+    esearch: RelativeResult
+    sprite_terms: int
+    esearch_terms: int
+
+
+def run_fig4c(
+    env: Environment,
+    iterations: int = 10,
+    switch_at: int = 6,
+    max_terms: int = 30,
+) -> List[Fig4cRow]:
+    """Reproduce Figure 4(c): the query set splits into two origin-
+    aligned groups; group A drives iterations 1..switch_at-1, group B
+    the rest.  The index grows 5 terms per iteration to *max_terms*,
+    then replacement-only (and eSearch's term set freezes)."""
+    from ..querygen.workload import pattern_change_groups
+
+    group_a, group_b = pattern_change_groups(env.full_set, seed=env.config.split_seed)
+    k = env.config.sprite.top_k_answers
+
+    sprite_cfg = SpriteConfig(
+        initial_terms=env.config.sprite.initial_terms,
+        terms_per_iteration=env.config.sprite.terms_per_iteration,
+        learning_iterations=iterations,
+        max_index_terms=max_terms,
+        query_cache_size=env.config.sprite.query_cache_size,
+        assumed_corpus_size=env.config.sprite.assumed_corpus_size,
+        top_k_answers=k,
+    )
+    sprite = SpriteSystem(
+        env.corpus, sprite_config=sprite_cfg, chord_config=env.config.chord
+    )
+    sprite.share_corpus()
+
+    esearch_terms = env.config.sprite.initial_terms
+    esearch = build_esearch(env, index_terms=esearch_terms)
+
+    rows: List[Fig4cRow] = []
+    for iteration in range(1, iterations + 1):
+        group = group_a if iteration < switch_at else group_b
+        group_name = "A" if iteration < switch_at else "B"
+        queries = list(group.queries)
+
+        # Process-and-evaluate: SPRITE caches the queries it serves
+        # (that is the learning signal); eSearch has nothing to cache.
+        sprite_rankings = _rank_all(sprite, queries, k, cache=True)
+        esearch_rankings = _rank_all(esearch, queries, k, cache=False)
+        central_rankings = env.centralized_rankings(queries)
+
+        sprite_sizes = sprite.learning_summary()
+        mean_sprite_terms = (
+            round(sum(sprite_sizes.values()) / len(sprite_sizes))
+            if sprite_sizes
+            else 0
+        )
+        rows.append(
+            Fig4cRow(
+                iteration=iteration,
+                active_group=group_name,
+                sprite=relative_to_centralized(
+                    sprite_rankings, central_rankings, group.qrels, k
+                ),
+                esearch=relative_to_centralized(
+                    esearch_rankings, central_rankings, group.qrels, k
+                ),
+                sprite_terms=mean_sprite_terms,
+                esearch_terms=esearch_terms,
+            )
+        )
+
+        # Learn (grow until the cap, replacement-only afterwards), and
+        # grow eSearch's static budget on the same schedule.
+        target = min(
+            max_terms,
+            env.config.sprite.initial_terms
+            + env.config.sprite.terms_per_iteration * iteration,
+        )
+        sprite.run_learning_iteration(target_size=target)
+        if target > esearch_terms:
+            esearch_terms = target
+            esearch = build_esearch(env, index_terms=esearch_terms)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Index construction / maintenance cost (the Section 1 motivation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CostRow:
+    """Index-construction traffic for one indexing strategy."""
+
+    strategy: str
+    published_terms: int
+    publish_messages: int
+    publish_hops: int
+    publish_bytes: int
+    messages_per_document: float
+
+
+def run_cost_comparison(env: Environment) -> List[CostRow]:
+    """Measure the publication traffic of (a) SPRITE's selective index,
+    (b) eSearch's static top-20, and (c) indexing *every* unique term —
+    the infeasible strawman the introduction argues against."""
+    rows: List[CostRow] = []
+    n_docs = len(env.corpus)
+
+    def measure(system, label: str) -> CostRow:
+        stats = system.ring.stats
+        publish = stats.kind(MessageKind.PUBLISH_TERM)
+        return CostRow(
+            strategy=label,
+            published_terms=system.total_published_terms(),
+            publish_messages=publish.messages,
+            publish_hops=publish.hops,
+            publish_bytes=publish.bytes,
+            messages_per_document=publish.messages / n_docs,
+        )
+
+    sprite = build_trained_sprite(env)
+    rows.append(measure(sprite, "sprite"))
+
+    esearch = build_esearch(env)
+    rows.append(measure(esearch, "esearch"))
+
+    class _IndexEverything(ESearchSystem):
+        def _first_terms(self, doc_id: str):
+            doc = self.corpus.get(doc_id)
+            return doc.top_terms(doc.unique_terms)
+
+    everything = _IndexEverything(
+        env.corpus,
+        esearch_config=env.config.esearch,
+        chord_config=env.config.chord,
+    )
+    everything.share_corpus()
+    rows.append(measure(everything, "index-everything"))
+    return rows

@@ -1,0 +1,149 @@
+"""Query expansion via local context analysis (paper Section 7, third
+discussion).
+
+"Since cooperation among peers is not as close as in a distributed
+system ..., local context analysis technique can be employed in SPRITE.
+In local context analysis, global information is not required. ...
+the co-occurrence of nouns in a document is analyzed.  Queries are
+enriched accordingly."
+
+:class:`LocalContextAnalyzer` implements the classic pseudo-relevance
+variant: run the query, take the top-n retrieved documents as the local
+context, score every candidate term by its co-occurrence with the query
+terms inside that context, and append the best non-query terms.  No
+global statistics are used — only the retrieved documents, which the
+querying peer has anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..corpus.corpus import Corpus
+from ..corpus.relevance import Query
+from ..exceptions import QueryError
+from ..ir.ranking import RankedList
+
+
+class LocalContextAnalyzer:
+    """Pseudo-relevance query expansion over a local document context.
+
+    Parameters
+    ----------
+    corpus:
+        Used only to read the *retrieved* documents' term statistics —
+        the analyzer never consults corpus-global frequencies, honouring
+        the "no global information" constraint.
+    context_size:
+        Number of top-ranked documents forming the local context.
+    expansion_terms:
+        How many terms to append to the query.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        context_size: int = 10,
+        expansion_terms: int = 3,
+    ) -> None:
+        if context_size < 1:
+            raise ValueError("context_size must be >= 1")
+        if expansion_terms < 0:
+            raise ValueError("expansion_terms must be >= 0")
+        self.corpus = corpus
+        self.context_size = context_size
+        self.expansion_terms = expansion_terms
+
+    def score_candidates(
+        self, query: Query, context_doc_ids: Sequence[str]
+    ) -> List[Tuple[str, float]]:
+        """Score candidate expansion terms by query-term co-occurrence.
+
+        A candidate term c scores ``Σ_q log(1 + co(c, q))`` over the
+        query terms q, where ``co(c, q)`` sums, over the context
+        documents containing both, the product of their frequencies —
+        the standard local-context-analysis co-occurrence aggregate.
+        """
+        query_terms = set(query.terms)
+        co: Dict[str, Dict[str, float]] = {}
+        for doc_id in context_doc_ids:
+            doc = self.corpus.get(doc_id)
+            freqs = doc.term_freqs
+            present_query_terms = [t for t in query_terms if t in freqs]
+            if not present_query_terms:
+                continue
+            for candidate, c_freq in freqs.items():
+                if candidate in query_terms:
+                    continue
+                bucket = co.setdefault(candidate, {})
+                for q_term in present_query_terms:
+                    bucket[q_term] = bucket.get(q_term, 0.0) + c_freq * freqs[q_term]
+
+        scored = [
+            (
+                candidate,
+                sum(math.log1p(v) for v in per_query.values()),
+            )
+            for candidate, per_query in co.items()
+        ]
+        scored.sort(key=lambda cs: (-cs[1], cs[0]))
+        return scored
+
+    def expand(
+        self,
+        query: Query,
+        search: Callable[[Query], RankedList],
+    ) -> Query:
+        """Expand *query* using a first-pass retrieval.
+
+        *search* is any ranked-retrieval callable (centralized, SPRITE,
+        or eSearch search functions all fit).  Returns a new query with
+        up to ``expansion_terms`` extra terms and id suffix ``"+lca"``.
+        """
+        first_pass = search(query)
+        context = first_pass.top_ids(self.context_size)
+        if not context:
+            return query
+        scored = self.score_candidates(query, context)
+        extra = [term for term, score in scored[: self.expansion_terms] if score > 0]
+        if not extra:
+            return query
+        return Query(
+            query_id=f"{query.query_id}+lca",
+            terms=tuple(query.terms) + tuple(extra),
+            origin_id=query.origin_id,
+        )
+
+
+def expansion_gain(
+    analyzer: LocalContextAnalyzer,
+    queries: Sequence[Query],
+    search: Callable[[Query], RankedList],
+    relevant_of: Callable[[str], set],
+    k: int,
+) -> Tuple[float, float]:
+    """Measure mean precision@k before and after expansion.
+
+    ``relevant_of`` maps an *original* query id to its relevant set (the
+    expanded query inherits its origin's judgments).
+    """
+    if k < 1:
+        raise QueryError("k must be >= 1")
+    base_scores: List[float] = []
+    expanded_scores: List[float] = []
+    for query in queries:
+        relevant = relevant_of(query.query_id)
+        if not relevant:
+            continue
+        base = search(query).top_ids(k)
+        base_scores.append(sum(1 for d in base if d in relevant) / k)
+        expanded_query = analyzer.expand(query, search)
+        expanded = search(expanded_query).top_ids(k)
+        expanded_scores.append(sum(1 for d in expanded if d in relevant) / k)
+    if not base_scores:
+        return 0.0, 0.0
+    return (
+        sum(base_scores) / len(base_scores),
+        sum(expanded_scores) / len(expanded_scores),
+    )

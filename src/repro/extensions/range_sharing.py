@@ -1,0 +1,110 @@
+"""Range-sharing load balance (paper Section 7, scenario (b) tail).
+
+"If a peer is responsible for indexing many terms, then it can invite an
+underloaded peer to share the range it is responsible for as in
+Range-partition.  The invited peer passes over its original partition to
+its successor and shares a range with the overloaded peer."
+
+Implemented on the Chord substrate: the invited (underloaded) peer
+gracefully leaves its position — Chord's leave hands its keys to its
+successor — and rejoins at the midpoint of the overloaded peer's arc,
+taking over (old-predecessor, midpoint] via Chord's join-time key
+transfer.  Both halves of the manoeuvre reuse the ring's own membership
+machinery, so routing state and key placement stay consistent by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..dht.ring import ChordRing
+from ..exceptions import DHTError
+
+
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """Per-peer slot counts at one instant, heaviest first."""
+
+    loads: Tuple[Tuple[int, int], ...]   # (node_id, slot_count)
+
+    @property
+    def heaviest(self) -> Tuple[int, int]:
+        return self.loads[0]
+
+    @property
+    def lightest(self) -> Tuple[int, int]:
+        return self.loads[-1]
+
+    @property
+    def imbalance(self) -> float:
+        """Heaviest load over mean load (1.0 = perfectly even)."""
+        total = sum(count for __, count in self.loads)
+        if total == 0:
+            return 1.0
+        mean = total / len(self.loads)
+        return self.heaviest[1] / mean if mean else 1.0
+
+
+class RangeSharingBalancer:
+    """Iteratively shed load from the heaviest peer onto the lightest."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+
+    def snapshot(self) -> LoadSnapshot:
+        """Measure per-peer primary-slot counts."""
+        loads = sorted(
+            (
+                (node_id, len(self.ring.node(node_id).store))
+                for node_id in self.ring.live_ids
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return LoadSnapshot(tuple(loads))
+
+    def _arc_midpoint(self, node_id: int) -> int:
+        """Midpoint of (predecessor, node] — where the helper lands."""
+        pred = self.ring.predecessor_of(node_id)
+        gap = self.ring.space.distance(pred, node_id)
+        if gap < 2:
+            raise DHTError(f"arc of node {node_id} too small to split")
+        return (pred + gap // 2) % self.ring.space.size
+
+    def rebalance_step(self) -> Optional[Tuple[int, int, int]]:
+        """One sharing round: move the lightest peer into the heaviest
+        peer's range.  Returns (overloaded, helper_old_id, helper_new_id)
+        or ``None`` when the load is already balanced enough to leave
+        alone (heaviest ≤ 2 slots or heaviest == lightest)."""
+        snap = self.snapshot()
+        overloaded, heavy_count = snap.heaviest
+        helper, light_count = snap.lightest
+        if heavy_count <= 2 or heavy_count <= light_count or overloaded == helper:
+            return None
+        midpoint = self._arc_midpoint(overloaded)
+        if midpoint in self.ring.nodes:
+            return None
+        # The helper hands its own (small) range to its successor...
+        self.ring.leave(helper)
+        # ...and rejoins splitting the overloaded peer's arc; Chord's
+        # join-time key transfer moves the first half of the slots.
+        new_id = self.ring.join(node_id=midpoint)
+        return overloaded, helper, new_id
+
+    def rebalance(self, max_steps: int = 8, target_imbalance: float = 2.0) -> List[Tuple[int, int, int]]:
+        """Repeat sharing steps until the imbalance ratio drops under
+        *target_imbalance* or no further improvement is possible."""
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if target_imbalance < 1.0:
+            raise ValueError("target_imbalance must be >= 1.0")
+        moves: List[Tuple[int, int, int]] = []
+        for __ in range(max_steps):
+            if self.snapshot().imbalance <= target_imbalance:
+                break
+            move = self.rebalance_step()
+            if move is None:
+                break
+            moves.append(move)
+        return moves

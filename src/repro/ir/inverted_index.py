@@ -1,0 +1,112 @@
+"""Centralized inverted index.
+
+The full-knowledge index underlying the paper's "ideal" reference
+system: every analyzed term of every document is indexed, with exact
+document frequencies and the exact corpus size.  The distributed
+systems' indexing peers hold *partial* versions of the same posting
+structure (see :mod:`repro.core.metadata`); this module is the complete
+centralized substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..corpus.corpus import Corpus
+from ..corpus.document import Document
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One inverted-list entry.
+
+    ``normalized_tf`` is the paper's t_ik (raw frequency over document
+    length); ``doc_length`` the analyzed term-occurrence count of the
+    document (used by Lee-style normalization as "number of terms").
+    """
+
+    doc_id: str
+    raw_tf: int
+    normalized_tf: float
+    doc_length: int
+
+
+class InvertedIndex:
+    """term → list of :class:`Posting`, plus exact global statistics."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[str, Posting]] = {}
+        self._doc_count = 0
+        self._doc_lengths: Dict[str, int] = {}
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus) -> "InvertedIndex":
+        """Index every document of *corpus* in full."""
+        index = cls()
+        for doc in corpus:
+            index.add_document(doc)
+        return index
+
+    def add_document(self, doc: Document) -> None:
+        """Index all analyzed terms of *doc*."""
+        if doc.doc_id in self._doc_lengths:
+            return
+        self._doc_lengths[doc.doc_id] = doc.length
+        self._doc_count += 1
+        for term, raw in doc.term_freqs.items():
+            self._postings.setdefault(term, {})[doc.doc_id] = Posting(
+                doc_id=doc.doc_id,
+                raw_tf=raw,
+                normalized_tf=raw / doc.length if doc.length else 0.0,
+                doc_length=doc.length,
+            )
+
+    def remove_document(self, doc: Document) -> None:
+        """Remove *doc* from every posting list (for churn experiments)."""
+        if doc.doc_id not in self._doc_lengths:
+            return
+        del self._doc_lengths[doc.doc_id]
+        self._doc_count -= 1
+        for term in list(doc.term_freqs):
+            postings = self._postings.get(term)
+            if postings is not None:
+                postings.pop(doc.doc_id, None)
+                if not postings:
+                    del self._postings[term]
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        """Exact corpus size N."""
+        return self._doc_count
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    @property
+    def total_postings(self) -> int:
+        """Total posting entries across all terms (index size)."""
+        return sum(len(p) for p in self._postings.values())
+
+    def document_frequency(self, term: str) -> int:
+        """Exact n_k — number of documents containing *term*."""
+        return len(self._postings.get(term, ()))
+
+    def postings(self, term: str) -> List[Posting]:
+        """The posting list for *term* (empty list if unindexed)."""
+        return list(self._postings.get(term, {}).values())
+
+    def doc_length(self, doc_id: str) -> int:
+        """Analyzed length of a document, 0 if unknown."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def terms(self) -> Iterable[str]:
+        """All indexed terms."""
+        return self._postings.keys()
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings

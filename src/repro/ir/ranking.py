@@ -1,0 +1,80 @@
+"""Ranked result lists.
+
+A :class:`RankedList` is the universal result currency of the
+reproduction: the centralized system, SPRITE, eSearch, the query
+generator's phase 2 (which reasons about rank positions), and the
+evaluation metrics all consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ScoredDoc:
+    """One ranked entry: a document id with its similarity score."""
+
+    doc_id: str
+    score: float
+
+
+class RankedList:
+    """An immutable, deterministic ranked list of documents.
+
+    Sorting is by descending score with ascending doc-id tie-break, so
+    two systems computing identical scores always produce identical
+    orderings — essential for reproducible experiments.
+    """
+
+    def __init__(self, scored: Mapping[str, float] | Sequence[Tuple[str, float]]) -> None:
+        items = scored.items() if isinstance(scored, Mapping) else scored
+        ordered = sorted(items, key=lambda kv: (-kv[1], kv[0]))
+        self._entries: List[ScoredDoc] = [ScoredDoc(d, s) for d, s in ordered]
+        self._rank_of: Dict[str, int] = {
+            e.doc_id: i for i, e in enumerate(self._entries)
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScoredDoc]:
+        return iter(self._entries)
+
+    def __getitem__(self, rank: int) -> ScoredDoc:
+        return self._entries[rank]
+
+    def top(self, k: int) -> List[ScoredDoc]:
+        """The best *k* entries (fewer if the list is shorter)."""
+        return self._entries[:k]
+
+    def top_ids(self, k: int) -> List[str]:
+        """Document ids of the best *k* entries."""
+        return [e.doc_id for e in self._entries[:k]]
+
+    def truncate(self, k: int) -> "RankedList":
+        """A new ranked list containing only the best *k* entries."""
+        return RankedList([(e.doc_id, e.score) for e in self._entries[:k]])
+
+    def rank_of(self, doc_id: str) -> int:
+        """0-based rank of *doc_id*, or -1 if not ranked."""
+        return self._rank_of.get(doc_id, -1)
+
+    def contains(self, doc_id: str) -> bool:
+        """Whether *doc_id* appears anywhere in the list."""
+        return doc_id in self._rank_of
+
+    def ids(self) -> List[str]:
+        """All document ids in rank order."""
+        return [e.doc_id for e in self._entries]
+
+    def id_set(self, k: int | None = None) -> Set[str]:
+        """The set of the top-*k* (or all) document ids."""
+        if k is None:
+            return set(self._rank_of)
+        return {e.doc_id for e in self._entries[:k]}
+
+    def scores(self) -> Dict[str, float]:
+        """doc id → score mapping."""
+        return {e.doc_id: e.score for e in self._entries}

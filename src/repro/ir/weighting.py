@@ -1,0 +1,70 @@
+"""Term-weighting schemes.
+
+The paper's Section 4 uses the classic formula
+
+    w_ik = t_ik × log(N / n_k)
+
+where ``t_ik`` is the length-normalized term frequency, ``N`` the corpus
+size, and ``n_k`` the document frequency.  The centralized reference
+system knows the true N and n_k; the distributed systems substitute a
+fixed large N ("a sufficiently large N") and the *indexed document
+frequency* n'_k counted from the retrieved inverted list.  Both variants
+are expressed through :class:`TfIdfWeighting` with different statistics
+providers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def idf(corpus_size: int, document_frequency: int) -> float:
+    """``log(N / n_k)`` with guards for degenerate inputs.
+
+    Terms appearing in zero documents get IDF 0 (they cannot contribute
+    to any similarity anyway), and a document frequency exceeding the
+    assumed corpus size is clamped so the logarithm never goes negative
+    — this can happen in the distributed setting only if the caller
+    configured an unrealistically small assumed N.
+    """
+    if document_frequency <= 0 or corpus_size <= 0:
+        return 0.0
+    ratio = corpus_size / document_frequency
+    if ratio < 1.0:
+        ratio = 1.0
+    return math.log(ratio)
+
+
+def tf_idf(normalized_tf: float, corpus_size: int, document_frequency: int) -> float:
+    """The paper's ``w_ik = t_ik × log(N / n_k)``."""
+    return normalized_tf * idf(corpus_size, document_frequency)
+
+
+@dataclass(frozen=True)
+class TfIdfWeighting:
+    """A term-weighting scheme bound to a corpus-size assumption.
+
+    Parameters
+    ----------
+    corpus_size:
+        N — the true corpus size (centralized) or the assumed large N
+        (distributed, paper Section 4).
+    """
+
+    corpus_size: int
+
+    def document_weight(self, normalized_tf: float, document_frequency: int) -> float:
+        """Weight of a term in a document."""
+        return tf_idf(normalized_tf, self.corpus_size, document_frequency)
+
+    def query_weight(self, document_frequency: int) -> float:
+        """Weight of a term in a query.
+
+        Keyword queries carry no meaningful term frequency (each keyword
+        appears once), so the query-side weight is the IDF alone — the
+        standard choice for short keyword queries and the one that makes
+        the ranking invariant to the absolute scale of N, as Section 4
+        argues.
+        """
+        return idf(self.corpus_size, document_frequency)

@@ -1,0 +1,208 @@
+"""The paper's query generator (Section 6.1).
+
+Benchmark query sets have little inter-query similarity, so the paper
+derives k = 9 new queries from each original TREC query in two phases:
+
+**Phase 1 — term selection.**  A new query Q' keeps a fraction
+O = |Q'₁|/|Q| of the original terms (randomly chosen) and replaces each
+dropped term with a *distributionally similar* term from the whole
+corpus: among the S = 5 terms minimizing
+``|Distribution(t_dropped) − Distribution(t_candidate)|`` (where
+``Distribution(t) = Freq(t) × Num(t)``), one is picked at random.  The
+replacements keep the generated stream's term statistics faithful to the
+original while injecting realistic noise terms.
+
+**Phase 2 — identifying relevant documents.**  Using the centralized
+system's deep ranked lists RL (for Q) and RL' (for Q'), limited to the
+top E = 1000: every RL' document already judged relevant to Q becomes
+relevant to Q' and *marks* the Q-relevant document at the most similar
+RL rank; every remaining unmarked Q-relevant document in RL donates its
+rank — the RL' document at the same rank becomes relevant to Q'.  The
+new relevant set thus mirrors the original's rank distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import List, Set, Tuple
+
+from ..config import QueryGenConfig
+from ..corpus.corpus import Corpus
+from ..corpus.relevance import Qrels, Query, QuerySet
+from ..exceptions import QueryError
+from ..ir.centralized import CentralizedSystem
+from ..ir.ranking import RankedList
+
+
+class DistributionNeighbors:
+    """Nearest-neighbour search over ``Distribution(t)`` values.
+
+    Pre-sorts the vocabulary by Distribution so the top-S closest terms
+    to any anchor value are found with one binary search plus a local
+    two-pointer scan — the corpus-wide scan the paper describes, made
+    O(log V + S).
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        table = corpus.distribution_table()
+        self._sorted: List[Tuple[float, str]] = sorted(
+            (value, term) for term, value in table.items()
+        )
+        self._values = [v for v, __ in self._sorted]
+        self._table = table
+
+    def distribution(self, term: str) -> float:
+        """Distribution(t), 0.0 for out-of-vocabulary terms."""
+        return self._table.get(term, 0.0)
+
+    def closest(self, term: str, count: int, exclude: Set[str]) -> List[str]:
+        """The *count* terms with Distribution closest to *term*'s,
+        excluding *term* itself and anything in *exclude*."""
+        anchor = self.distribution(term)
+        exclude = exclude | {term}
+        idx = bisect_left(self._values, anchor)
+        lo, hi = idx - 1, idx
+        found: List[Tuple[float, str]] = []
+        n = len(self._sorted)
+        while len(found) < count and (lo >= 0 or hi < n):
+            lo_gap = anchor - self._values[lo] if lo >= 0 else float("inf")
+            hi_gap = self._values[hi] - anchor if hi < n else float("inf")
+            if lo_gap <= hi_gap:
+                value, candidate = self._sorted[lo]
+                lo -= 1
+            else:
+                value, candidate = self._sorted[hi]
+                hi += 1
+            if candidate not in exclude:
+                found.append((abs(value - anchor), candidate))
+        found.sort()
+        return [t for __, t in found[:count]]
+
+
+class QueryGenerator:
+    """Generate the evaluation query set from the original queries."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        centralized: CentralizedSystem,
+        config: QueryGenConfig | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.centralized = centralized
+        self.config = config if config is not None else QueryGenConfig()
+        self.neighbors = DistributionNeighbors(corpus)
+
+    # -- phase 1 ----------------------------------------------------------
+
+    def _phase1_terms(
+        self, original: Query, rng: random.Random
+    ) -> Tuple[str, ...]:
+        """Build one new query's term set: keep ⌈O·|Q|⌉ original terms,
+        replace the rest with Distribution-similar corpus terms."""
+        cfg = self.config
+        terms = list(original.terms)
+        keep_count = max(1, round(cfg.overlap_ratio * len(terms)))
+        keep_count = min(keep_count, len(terms))
+        kept = rng.sample(terms, keep_count)
+        dropped = [t for t in terms if t not in kept]
+
+        replacements: List[str] = []
+        exclude = set(kept)
+        for term in dropped:
+            candidates = self.neighbors.closest(
+                term, cfg.candidate_pool_size, exclude=exclude | set(replacements)
+            )
+            if not candidates:
+                continue
+            replacements.append(rng.choice(candidates))
+        new_terms = tuple(sorted(set(kept) | set(replacements)))
+        if not new_terms:
+            raise QueryError(f"generated empty query from {original.query_id!r}")
+        return new_terms
+
+    # -- phase 2 -------------------------------------------------------------
+
+    def _phase2_relevant(
+        self,
+        original_rl: RankedList,
+        original_relevant: Set[str],
+        new_rl: RankedList,
+    ) -> Set[str]:
+        """Map the original query's relevant documents onto the new
+        query's ranked list (Figure 3's marking procedure)."""
+        depth = self.config.ranked_list_depth
+        rl_ids = original_rl.top_ids(depth)
+        new_ids = new_rl.top_ids(depth)
+
+        orig_rel_ranks = [
+            rank for rank, doc_id in enumerate(rl_ids) if doc_id in original_relevant
+        ]
+        unmarked = set(orig_rel_ranks)
+        relevant_new: Set[str] = set()
+
+        # Step 1: shared answers — RL' documents already relevant to Q.
+        for new_rank, doc_id in enumerate(new_ids):
+            if doc_id not in original_relevant:
+                continue
+            relevant_new.add(doc_id)
+            if unmarked:
+                closest = min(unmarked, key=lambda r: (abs(r - new_rank), r))
+                unmarked.discard(closest)
+
+        # Step 2: rank transplants — each still-unmarked relevant rank of
+        # RL donates its position in RL'.
+        for rank in sorted(unmarked):
+            if rank < len(new_ids):
+                relevant_new.add(new_ids[rank])
+        return relevant_new
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self, originals: QuerySet) -> QuerySet:
+        """Derive k new queries (with qrels) from every original query.
+
+        Returns a :class:`QuerySet` containing only the generated
+        queries; ids are ``"<origin>.<i>"`` and carry ``origin_id`` so
+        workloads can group derived queries with their original.
+        """
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        queries: List[Query] = []
+        qrels = Qrels()
+
+        for original in originals:
+            original_rl = self.centralized.search(original).truncate(
+                cfg.ranked_list_depth
+            )
+            original_relevant = originals.qrels.relevant(original.query_id)
+            for i in range(cfg.queries_per_original):
+                terms = self._phase1_terms(original, rng)
+                new_query = Query(
+                    query_id=f"{original.query_id}.{i}",
+                    terms=terms,
+                    origin_id=original.query_id,
+                )
+                new_rl = self.centralized.search(new_query).truncate(
+                    cfg.ranked_list_depth
+                )
+                relevant = self._phase2_relevant(
+                    original_rl, original_relevant, new_rl
+                )
+                queries.append(new_query)
+                qrels.set_relevant(new_query.query_id, relevant)
+        return QuerySet(queries, qrels)
+
+    def generate_with_originals(self, originals: QuerySet) -> QuerySet:
+        """Generated queries plus the originals themselves, sharing one
+        qrels object — the paper's "630 queries" include the 63
+        originals' derivatives; including originals is useful for
+        workloads that need the full family."""
+        generated = self.generate(originals)
+        merged = Qrels()
+        for qid in originals.qrels:
+            merged.set_relevant(qid, originals.qrels.relevant(qid))
+        for qid in generated.qrels:
+            merged.set_relevant(qid, generated.qrels.relevant(qid))
+        return QuerySet(list(originals.queries) + list(generated.queries), merged)

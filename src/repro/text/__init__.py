@@ -1,0 +1,31 @@
+"""Text-processing substrate: tokenization, stop words, stemming.
+
+This package gives every retrieval system in the reproduction an
+identical view of the term space — the paper's "standard" preprocessing
+(Lucene stop-word list + stemming) is implemented once here and shared.
+"""
+
+from .analyzer import DEFAULT_ANALYZER, Analyzer
+from .stemmer import PorterStemmer, stem, stem_all
+from .stopwords import (
+    LUCENE_STOP_WORDS,
+    is_stop_word,
+    make_stop_word_set,
+    remove_stop_words,
+)
+from .tokenizer import DEFAULT_TOKENIZER, Tokenizer, tokenize
+
+__all__ = [
+    "Analyzer",
+    "DEFAULT_ANALYZER",
+    "DEFAULT_TOKENIZER",
+    "LUCENE_STOP_WORDS",
+    "PorterStemmer",
+    "Tokenizer",
+    "is_stop_word",
+    "make_stop_word_set",
+    "remove_stop_words",
+    "stem",
+    "stem_all",
+    "tokenize",
+]

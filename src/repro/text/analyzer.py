@@ -1,0 +1,88 @@
+"""The end-to-end text analysis pipeline.
+
+The paper preprocesses text "in the standard way: removing the terms in
+the stop-word-list, and then stemming is applied to the remaining terms"
+(Section 6).  :class:`Analyzer` packages tokenizer → stop-word filter →
+stemmer into one object that both the centralized IR substrate and the
+distributed systems share, so every system sees an identical term space.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import FrozenSet, List
+
+from .stemmer import PorterStemmer
+from .stopwords import LUCENE_STOP_WORDS
+from .tokenizer import Tokenizer
+
+
+class Analyzer:
+    """Tokenize, filter stop words, and stem.
+
+    Parameters
+    ----------
+    tokenizer:
+        The :class:`~repro.text.tokenizer.Tokenizer` to use; defaults to
+        the package default settings.
+    stop_words:
+        A frozen set of stop words; defaults to Lucene's list per the
+        paper.  Pass ``frozenset()`` to disable stop-word removal.
+    stemmer:
+        A stemmer object exposing ``stem(word) -> str``; defaults to the
+        from-scratch Porter stemmer.  Pass ``None`` to disable stemming.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        stop_words: FrozenSet[str] = LUCENE_STOP_WORDS,
+        stemmer: PorterStemmer | None = None,
+        enable_stemming: bool = True,
+    ) -> None:
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.stop_words = stop_words
+        self.stemmer = stemmer if stemmer is not None else PorterStemmer()
+        self.enable_stemming = enable_stemming
+
+    def analyze(self, text: str) -> List[str]:
+        """Return the analyzed term sequence for *text*.
+
+        Order and multiplicity are preserved so callers can compute term
+        frequencies and positional statistics.
+
+        >>> Analyzer().analyze("The retrieving peers are retrieving")
+        ['retriev', 'peer', 'retriev']
+        """
+        terms = []
+        for token in self.tokenizer.iter_tokens(text):
+            if token in self.stop_words:
+                continue
+            if self.enable_stemming:
+                token = self.stemmer.stem(token)
+            if token:
+                terms.append(token)
+        return terms
+
+    def term_frequencies(self, text: str) -> Counter:
+        """Return a ``Counter`` of analyzed term → occurrence count."""
+        return Counter(self.analyze(text))
+
+    def analyze_query(self, text: str) -> List[str]:
+        """Analyze a query string into a deduplicated term list.
+
+        Queries in the paper are keyword sets; duplicates within one
+        query carry no meaning, so they are removed (first occurrence
+        kept, order preserved for determinism).
+        """
+        seen = set()
+        out: List[str] = []
+        for term in self.analyze(text):
+            if term not in seen:
+                seen.add(term)
+                out.append(term)
+        return out
+
+
+#: Shared default analyzer (Lucene stop words + Porter stemming).
+DEFAULT_ANALYZER = Analyzer()

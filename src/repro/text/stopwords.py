@@ -1,0 +1,47 @@
+"""English stop-word list.
+
+The paper (Section 6) states: "The default stop-word-list in Lucene is
+used for this purpose."  This module embeds exactly that list — the 33
+words of Lucene's ``StandardAnalyzer.ENGLISH_STOP_WORDS_SET`` — so the
+reproduction filters the same tokens the original system did.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+#: Lucene's default English stop words (StandardAnalyzer), verbatim.
+LUCENE_STOP_WORDS: FrozenSet[str] = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "but", "by",
+        "for", "if", "in", "into", "is", "it", "no", "not", "of",
+        "on", "or", "such", "that", "the", "their", "then", "there",
+        "these", "they", "this", "to", "was", "will", "with",
+    }
+)
+
+
+def is_stop_word(token: str, stop_words: FrozenSet[str] = LUCENE_STOP_WORDS) -> bool:
+    """Return ``True`` if *token* (case-insensitively) is a stop word."""
+    return token.lower() in stop_words
+
+
+def remove_stop_words(
+    tokens: Iterable[str], stop_words: FrozenSet[str] = LUCENE_STOP_WORDS
+) -> list[str]:
+    """Filter stop words out of a token stream, preserving order.
+
+    >>> remove_stop_words(["the", "quick", "fox"])
+    ['quick', 'fox']
+    """
+    return [t for t in tokens if t.lower() not in stop_words]
+
+
+def make_stop_word_set(words: Iterable[str]) -> FrozenSet[str]:
+    """Build a custom stop-word set (lower-cased, deduplicated).
+
+    Useful when reproducing on corpora in other languages or with a
+    domain-specific list; everything downstream accepts the resulting
+    frozen set wherever ``LUCENE_STOP_WORDS`` is accepted.
+    """
+    return frozenset(w.lower() for w in words)

@@ -1,0 +1,184 @@
+"""Tests for Algorithm 1 and term selection.
+
+The centerpiece is the *equivalence property*: the paper argues the
+incremental learner computes exactly what the naive
+reprocess-everything learner computes (max is associative, QF is
+cumulative).  We verify it with hypothesis over random query streams and
+arbitrary batch splits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learning import (
+    IncrementalLearner,
+    RankedTerm,
+    initial_terms,
+    naive_rank_terms,
+    select_index_terms,
+)
+from repro.corpus import Document
+
+DOC_TEXT = (
+    "alpha alpha alpha alpha beta beta beta gamma gamma delta "
+    "epsilon zeta eta theta iota kappa"
+)
+
+
+@pytest.fixture()
+def doc() -> Document:
+    return Document("doc", DOC_TEXT)
+
+
+class TestInitialTerms:
+    def test_top_frequency(self, doc: Document) -> None:
+        assert initial_terms(doc, 3) == ["alpha", "beta", "gamma"]
+
+    def test_invalid_count(self, doc: Document) -> None:
+        with pytest.raises(ValueError):
+            initial_terms(doc, 0)
+
+
+class TestIncrementalLearner:
+    def test_no_queries_no_stats(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([])
+        assert learner.rank_list() == []
+
+    def test_queries_without_doc_terms_ignored(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([("unrelated", "terms")])
+        assert learner.rank_list() == []
+
+    def test_single_query_scores_zero_but_tracked(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([("alpha", "beta")])
+        assert learner.stats["alpha"].query_frequency == 1
+        assert learner.score_of("alpha") == 0.0  # log10(1) = 0
+
+    def test_repeated_queries_build_score(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([("alpha", "beta")] * 10)
+        assert learner.score_of("alpha") > 0.0
+
+    def test_max_qscore_kept(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([("alpha", "unknown1", "unknown2", "unknown3")])  # qs=0.25
+        learner.observe([("alpha", "beta")])                              # qs=1.0
+        assert learner.stats["alpha"].max_qscore == 1.0
+
+    def test_rank_list_sorted(self, doc: Document) -> None:
+        learner = IncrementalLearner(doc)
+        learner.observe([("alpha", "beta")] * 5 + [("gamma", "nope", "nah", "zip")] * 3)
+        ranked = learner.rank_list()
+        scores = [rt.score for rt in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unqueried_frequent_term_not_ranked(self, doc: Document) -> None:
+        """The paper's 'term c' case: frequent in the document but never
+        queried → absent from the rank list entirely."""
+        learner = IncrementalLearner(doc)
+        learner.observe([("delta", "epsilon")] * 4)
+        ranked_terms = {rt.term for rt in learner.rank_list()}
+        assert "alpha" not in ranked_terms
+        assert "delta" in ranked_terms
+
+
+class TestEquivalenceWithNaive:
+    def test_simple_stream(self, doc: Document) -> None:
+        queries = [("alpha", "beta"), ("alpha",), ("gamma", "delta"), ("alpha", "beta")]
+        learner = IncrementalLearner(doc)
+        for q in queries:
+            learner.observe([q])
+        assert learner.rank_list() == naive_rank_terms(doc, queries)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(
+                    ["alpha", "beta", "gamma", "delta", "epsilon", "noise1", "noise2"]
+                ),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            ).map(tuple),
+            max_size=25,
+        ),
+        st.data(),
+    )
+    def test_incremental_equals_naive_any_batching(self, queries, data) -> None:
+        """Algorithm 1 ≡ naive recomputation for every stream and every
+        way of batching it into learning iterations."""
+        document = Document("doc", DOC_TEXT)
+        learner = IncrementalLearner(document)
+        remaining = list(queries)
+        while remaining:
+            cut = data.draw(st.integers(min_value=1, max_value=len(remaining)))
+            batch, remaining = remaining[:cut], remaining[cut:]
+            learner.observe(batch)
+        assert learner.rank_list() == naive_rank_terms(document, queries)
+
+
+class TestSelectIndexTerms:
+    def _ranked(self, *pairs) -> list:
+        return [RankedTerm(t, s) for t, s in pairs]
+
+    def test_positive_scores_win(self, doc: Document) -> None:
+        chosen = select_index_terms(
+            doc,
+            current_terms=["alpha", "beta"],
+            rank_list=self._ranked(("zeta", 0.9), ("eta", 0.8)),
+            target_size=2,
+        )
+        assert chosen == ["zeta", "eta"]
+
+    def test_current_terms_retained_under_budget(self, doc: Document) -> None:
+        chosen = select_index_terms(
+            doc,
+            current_terms=["alpha", "beta"],
+            rank_list=self._ranked(("zeta", 0.9)),
+            target_size=3,
+        )
+        assert chosen[0] == "zeta"
+        assert set(chosen[1:]) == {"alpha", "beta"}
+
+    def test_zero_scores_never_preempt(self, doc: Document) -> None:
+        chosen = select_index_terms(
+            doc,
+            current_terms=["alpha"],
+            rank_list=self._ranked(("zeta", 0.0)),
+            target_size=1,
+        )
+        assert chosen == ["alpha"]
+
+    def test_padding_with_frequent_terms(self, doc: Document) -> None:
+        chosen = select_index_terms(
+            doc, current_terms=[], rank_list=[], target_size=3
+        )
+        assert chosen == ["alpha", "beta", "gamma"]
+
+    def test_figure_2b_replacement(self) -> None:
+        """The worked example: t1, t2, t5 indexed; after learning, t3
+        enters (0.524) and t5 (0.501) is evicted under a 3-term cap."""
+        text = "t1 t2 t3 t5 filler filler"
+        d = Document("fig2b", text)
+        rank = self._ranked(("t1", 0.985), ("t2", 0.527), ("t3", 0.524), ("t5", 0.501))
+        chosen = select_index_terms(d, ["t1", "t2", "t5"], rank, target_size=3)
+        assert chosen == ["t1", "t2", "t3"]
+
+    def test_invalid_target(self, doc: Document) -> None:
+        with pytest.raises(ValueError):
+            select_index_terms(doc, [], [], target_size=0)
+
+    def test_no_duplicates(self, doc: Document) -> None:
+        chosen = select_index_terms(
+            doc,
+            current_terms=["alpha", "zeta"],
+            rank_list=self._ranked(("zeta", 0.9), ("alpha", 0.5)),
+            target_size=4,
+        )
+        assert len(chosen) == len(set(chosen))

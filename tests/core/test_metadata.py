@@ -1,0 +1,120 @@
+"""Tests for SPRITE metadata structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metadata import (
+    CachedQuery,
+    PostingEntry,
+    QueryCache,
+    TermSlot,
+    TermStats,
+)
+
+
+class TestPostingEntry:
+    def test_normalized_tf(self) -> None:
+        entry = PostingEntry(doc_id="d1", owner_peer=7, raw_tf=3, doc_length=12)
+        assert entry.normalized_tf == pytest.approx(0.25)
+
+    def test_zero_length_document(self) -> None:
+        entry = PostingEntry(doc_id="d1", owner_peer=7, raw_tf=0, doc_length=0)
+        assert entry.normalized_tf == 0.0
+
+    def test_frozen(self) -> None:
+        entry = PostingEntry("d1", 7, 3, 12)
+        with pytest.raises(AttributeError):
+            entry.raw_tf = 9  # type: ignore[misc]
+
+
+class TestQueryCache:
+    def test_sequences_monotone(self) -> None:
+        cache = QueryCache(capacity=10)
+        a = cache.add(("a",), query_hash=1)
+        b = cache.add(("b",), query_hash=2)
+        assert b.sequence == a.sequence + 1
+
+    def test_capacity_evicts_oldest(self) -> None:
+        cache = QueryCache(capacity=2)
+        cache.add(("a",), 1)
+        cache.add(("b",), 2)
+        cache.add(("c",), 3)
+        terms = [e.terms for e in cache]
+        assert terms == [("b",), ("c",)]
+
+    def test_reissue_appends_fresh_arrival(self) -> None:
+        """Identical queries are stored per-arrival (QF counts repeats —
+        the popularity signal under skewed streams)."""
+        cache = QueryCache(capacity=5)
+        cache.add(("a",), 1)
+        cache.add(("b",), 2)
+        refreshed = cache.add(("a",), 1)   # re-issued popular query
+        assert refreshed.sequence == 2
+        assert [e.terms for e in cache] == [("a",), ("b",), ("a",)]
+        assert len(cache.since(-1)) == 3
+
+    def test_since_returns_only_newer(self) -> None:
+        cache = QueryCache(capacity=10)
+        cache.add(("a",), 1)
+        marker = cache.latest_sequence
+        cache.add(("b",), 2)
+        cache.add(("c",), 3)
+        fresh = cache.since(marker)
+        assert [e.terms for e in fresh] == [("b",), ("c",)]
+
+    def test_since_with_no_new(self) -> None:
+        cache = QueryCache(capacity=10)
+        cache.add(("a",), 1)
+        assert cache.since(cache.latest_sequence) == []
+
+    def test_latest_sequence_empty(self) -> None:
+        assert QueryCache(capacity=4).latest_sequence == -1
+
+    def test_invalid_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            QueryCache(capacity=0)
+
+    def test_len(self) -> None:
+        cache = QueryCache(capacity=5)
+        cache.add(("a",), 1)
+        cache.add(("b",), 2)
+        assert len(cache) == 2
+
+
+class TestTermSlot:
+    def test_indexed_document_frequency(self) -> None:
+        slot = TermSlot(term="chord")
+        slot.add_posting(PostingEntry("d1", 1, 1, 10))
+        slot.add_posting(PostingEntry("d2", 2, 1, 10))
+        assert slot.indexed_document_frequency == 2
+
+    def test_add_overwrites_same_doc(self) -> None:
+        slot = TermSlot(term="chord")
+        slot.add_posting(PostingEntry("d1", 1, 1, 10))
+        slot.add_posting(PostingEntry("d1", 1, 5, 10))
+        assert slot.indexed_document_frequency == 1
+        assert slot.inverted["d1"].raw_tf == 5
+
+    def test_remove_posting(self) -> None:
+        slot = TermSlot(term="chord")
+        slot.add_posting(PostingEntry("d1", 1, 1, 10))
+        removed = slot.remove_posting("d1")
+        assert removed is not None
+        assert slot.indexed_document_frequency == 0
+        assert slot.remove_posting("d1") is None
+
+
+class TestTermStats:
+    def test_absorb_maxes_qscore(self) -> None:
+        stats = TermStats()
+        stats.absorb(0.5, 3)
+        stats.absorb(0.3, 2)
+        stats.absorb(0.8, 1)
+        assert stats.max_qscore == 0.8
+
+    def test_absorb_accumulates_qf(self) -> None:
+        stats = TermStats()
+        stats.absorb(0.5, 3)
+        stats.absorb(0.3, 2)
+        assert stats.query_frequency == 5

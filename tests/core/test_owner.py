@@ -1,0 +1,172 @@
+"""Tests for the owner peer: sharing and learning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig, SpriteConfig
+from repro.core.indexer import IndexingProtocol
+from repro.core.owner import OwnerPeer
+from repro.corpus import Document
+from repro.dht import ChordRing
+from repro.exceptions import LearningError
+
+
+@pytest.fixture()
+def ring() -> ChordRing:
+    return ChordRing(ChordConfig(num_peers=16, id_bits=32, seed=29))
+
+
+@pytest.fixture()
+def protocol(ring: ChordRing) -> IndexingProtocol:
+    return IndexingProtocol(ring, query_cache_size=32)
+
+
+@pytest.fixture()
+def config() -> SpriteConfig:
+    return SpriteConfig(
+        initial_terms=2,
+        terms_per_iteration=2,
+        learning_iterations=2,
+        max_index_terms=4,
+        query_cache_size=32,
+        top_k_answers=5,
+    )
+
+
+@pytest.fixture()
+def owner(ring: ChordRing, protocol: IndexingProtocol, config: SpriteConfig) -> OwnerPeer:
+    return OwnerPeer(ring.live_ids[0], protocol, config)
+
+
+DOC = Document(
+    "d1",
+    "alpha alpha alpha beta beta gamma gamma delta epsilon zeta zeta zeta zeta",
+)
+
+
+class TestShare:
+    def test_initial_terms_published(self, owner: OwnerPeer, protocol: IndexingProtocol) -> None:
+        state = owner.share(DOC)
+        # top-2 by frequency: zeta (4), alpha (3).
+        assert state.index_terms == ["zeta", "alpha"]
+        for term in state.index_terms:
+            assert protocol.indexed_document_frequency(term) == 1
+
+    def test_user_supplied_terms(self, owner: OwnerPeer) -> None:
+        state = owner.share(Document("d2", DOC.text), first_terms=["gamma", "beta"])
+        assert state.index_terms == ["gamma", "beta"]
+
+    def test_double_share_rejected(self, owner: OwnerPeer) -> None:
+        owner.share(DOC)
+        with pytest.raises(LearningError):
+            owner.share(DOC)
+
+    def test_unshare_removes_postings(self, owner: OwnerPeer, protocol: IndexingProtocol) -> None:
+        owner.share(DOC)
+        owner.unshare("d1")
+        assert protocol.indexed_document_frequency("zeta") == 0
+        assert owner.num_shared == 0
+
+    def test_index_terms_of_unknown_doc(self, owner: OwnerPeer) -> None:
+        with pytest.raises(LearningError):
+            owner.index_terms("ghost")
+
+
+class TestLearning:
+    def test_learning_grows_index(self, owner: OwnerPeer, protocol: IndexingProtocol, ring: ChordRing) -> None:
+        owner.share(DOC)
+        issuer = ring.live_ids[2]
+        # Repeated queries on (beta, gamma): terms in doc, not yet indexed.
+        for __ in range(5):
+            protocol.register_query(issuer, ("beta", "gamma"))
+        terms = owner.learn_document("d1")
+        assert len(terms) == 4
+        assert "beta" in terms and "gamma" in terms
+        # The new terms are actually published.
+        assert protocol.indexed_document_frequency("beta") == 1
+        assert protocol.indexed_document_frequency("gamma") == 1
+
+    def test_learning_without_queries_pads_by_frequency(self, owner: OwnerPeer) -> None:
+        owner.share(DOC)
+        terms = owner.learn_document("d1")
+        # No evidence → padded with next most frequent doc terms.
+        assert len(terms) == 4
+        assert set(terms) >= {"zeta", "alpha"}
+
+    def test_cap_respected(self, owner: OwnerPeer, protocol: IndexingProtocol, ring: ChordRing) -> None:
+        owner.share(DOC)
+        issuer = ring.live_ids[2]
+        for t in ("beta", "gamma", "delta", "epsilon"):
+            for __ in range(4):
+                protocol.register_query(issuer, (t, "alpha"))
+        for __ in range(4):
+            owner.learn_document("d1")
+        assert len(owner.index_terms("d1")) == 4  # max_index_terms
+
+    def test_replacement_unpublishes_displaced_terms(
+        self, owner: OwnerPeer, protocol: IndexingProtocol, ring: ChordRing
+    ) -> None:
+        owner.share(DOC)  # zeta, alpha published
+        issuer = ring.live_ids[2]
+        # Queries must contain an indexed term ("alpha") to be observed
+        # at all (the paper's peer-12 awareness argument).  They bring
+        # evidence for beta/gamma/delta/epsilon; all six scored terms
+        # compete for 4 slots and zeta (never queried) is evicted.
+        for __ in range(6):
+            protocol.register_query(issuer, ("alpha", "beta", "gamma"))
+            protocol.register_query(issuer, ("alpha", "delta", "epsilon"))
+        owner.learn_document("d1", target_size=4)
+        terms = set(owner.index_terms("d1"))
+        assert "alpha" in terms            # strongest evidence (QF 12)
+        assert "zeta" not in terms         # frequent but never queried
+        assert len(terms & {"beta", "gamma", "delta", "epsilon"}) == 3
+        assert protocol.indexed_document_frequency("zeta") == 0
+
+    def test_incremental_polling_no_double_count(
+        self, owner: OwnerPeer, protocol: IndexingProtocol, ring: ChordRing
+    ) -> None:
+        owner.share(DOC)
+        issuer = ring.live_ids[2]
+        for __ in range(3):
+            protocol.register_query(issuer, ("zeta", "beta"))
+        owner.learn_document("d1")
+        qf_after_first = owner.shared["d1"].learner.stats["zeta"].query_frequency
+        # No new queries → second poll must not re-count old ones.
+        owner.learn_document("d1")
+        assert owner.shared["d1"].learner.stats["zeta"].query_frequency == qf_after_first
+
+    def test_learn_unshared_doc_raises(self, owner: OwnerPeer) -> None:
+        with pytest.raises(LearningError):
+            owner.learn_document("ghost")
+
+    def test_learn_all(self, owner: OwnerPeer) -> None:
+        owner.share(DOC)
+        owner.share(Document("d2", "one one two two three"))
+        owner.learn_all()
+        assert owner.shared["d1"].learning_iterations_run == 1
+        assert owner.shared["d2"].learning_iterations_run == 1
+
+    def test_force_publish_requires_indexed_term(self, owner: OwnerPeer) -> None:
+        owner.share(DOC)
+        state = owner.shared["d1"]
+        with pytest.raises(LearningError):
+            owner._publish_terms_force(state, "epsilon")  # not indexed
+
+    def test_force_publish_restores_lost_posting(
+        self, owner: OwnerPeer, protocol: IndexingProtocol
+    ) -> None:
+        owner.share(DOC)
+        state = owner.shared["d1"]
+        term = state.index_terms[0]
+        slot = protocol.slot_snapshot(term)
+        slot.remove_posting("d1")
+        assert protocol.indexed_document_frequency(term) == 0
+        assert owner._publish_terms_force(state, term) is True
+        assert protocol.indexed_document_frequency(term) == 1
+
+    def test_target_bounded_by_document_vocabulary(self, owner: OwnerPeer) -> None:
+        tiny = Document("tiny", "rock sand")   # both stem-stable words
+        owner.share(tiny)
+        terms = owner.learn_document("tiny", target_size=50)
+        assert set(terms) == {"rock", "sand"}

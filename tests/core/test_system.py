@@ -1,0 +1,124 @@
+"""Tests for the system facades (DistributedSystem / SpriteSystem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig, SpriteConfig
+from repro.core import SpriteSystem
+from repro.corpus import Corpus, Document, Query
+from repro.exceptions import LearningError
+
+CHORD = ChordConfig(num_peers=24, id_bits=32, seed=61)
+
+
+@pytest.fixture()
+def corpus() -> Corpus:
+    docs = []
+    for i in range(12):
+        topic = ["chord ring lookup", "retrieval ranking index", "churn failure replica"][i % 3]
+        filler = f"filler{i} filler{i} pad{i}"
+        docs.append(Document(f"d{i}", f"{topic} {topic} {filler}"))
+    return Corpus(docs)
+
+
+@pytest.fixture()
+def sprite(corpus: Corpus, fast_sprite_config: SpriteConfig) -> SpriteSystem:
+    return SpriteSystem(corpus, sprite_config=fast_sprite_config, chord_config=CHORD)
+
+
+class TestSharing:
+    def test_share_corpus_publishes_everything(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        assert sprite.total_published_terms() == 12 * 3  # initial_terms=3
+
+    def test_share_is_idempotent(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        sprite.share_corpus()
+        assert sprite.total_published_terms() == 12 * 3
+
+    def test_owner_assignment_deterministic(self, sprite: SpriteSystem, corpus: Corpus) -> None:
+        sprite.share_corpus()
+        again = SpriteSystem(corpus, sprite_config=sprite.config, chord_config=CHORD)
+        again.share_corpus()
+        for doc_id in corpus.doc_ids:
+            assert sprite.owner_of(doc_id).node_id == again.owner_of(doc_id).node_id
+
+    def test_owner_of_unshared_raises(self, sprite: SpriteSystem) -> None:
+        with pytest.raises(LearningError):
+            sprite.owner_of("d0")
+
+    def test_index_terms_accessible(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        terms = sprite.index_terms("d0")
+        assert len(terms) == 3
+
+
+class TestSearchPath:
+    def test_search_finds_matching_documents(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        ranked = sprite.search(Query("q", ("chord", "ring")), cache=False)
+        assert len(ranked) > 0
+        for doc_id in ranked.ids():
+            assert int(doc_id[1:]) % 3 == 0  # only the chord-topic docs
+
+    def test_search_respects_config_top_k(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        ranked = sprite.search(Query("q", ("chord",)), cache=False)
+        assert len(ranked) <= sprite.config.top_k_answers
+
+    def test_register_queries_counts(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        count = sprite.register_queries([Query("q1", ("chord", "ring"))])
+        assert count == 2
+
+
+class TestLearningLoop:
+    def test_learning_requires_share(self, sprite: SpriteSystem) -> None:
+        with pytest.raises(LearningError):
+            sprite.run_learning_iteration()
+
+    def test_learning_grows_index_sizes(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        sprite.register_queries(
+            [Query(f"q{i}", ("chord", "lookup")) for i in range(4)]
+        )
+        sprite.run_learning(iterations=1)
+        sizes = sprite.learning_summary()
+        # Target is 3 + 3 = 6, clamped to each document's 5 unique terms.
+        assert all(size == 5 for size in sizes.values())
+
+    def test_full_schedule_caps_at_max(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        sprite.run_learning()  # 2 iterations × 3 terms → 9 (= cap)
+        sizes = sprite.learning_summary()
+        assert all(size <= sprite.config.max_index_terms for size in sizes.values())
+
+    def test_learning_indexes_queried_terms(self, sprite: SpriteSystem) -> None:
+        """A query term present in a document but outside its initial
+        index must enter after learning (the d/e terms of Figure 1)."""
+        sprite.share_corpus()
+        target = "d0"
+        initial = set(sprite.index_terms(target))
+        assert "lookup" in sprite.corpus.get(target).term_freqs
+        queried = ("chord", "lookup")
+        sprite.register_queries([Query(f"q{i}", queried) for i in range(5)])
+        sprite.run_learning(iterations=1)
+        after = set(sprite.index_terms(target))
+        assert "lookup" in after or "lookup" in initial
+
+    def test_stats_accumulate_traffic(self, sprite: SpriteSystem) -> None:
+        from repro.dht.messages import MessageKind
+
+        sprite.share_corpus()
+        publish = sprite.ring.stats.kind(MessageKind.PUBLISH_TERM)
+        assert publish.messages == 12 * 3
+        assert publish.hops >= publish.messages  # ≥1 hop each
+
+
+class TestDiagnostics:
+    def test_execute_returns_diagnostics(self, sprite: SpriteSystem) -> None:
+        sprite.share_corpus()
+        ranked, execution = sprite.execute(Query("q", ("chord",)), cache=False)
+        assert execution.terms_visited == 1
+        assert execution.postings_retrieved >= len(ranked.ids())

@@ -1,0 +1,81 @@
+"""Tests for the Document model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Document
+
+
+@pytest.fixture()
+def doc() -> Document:
+    return Document(
+        doc_id="d1",
+        text="chord chord chord ring ring lookup the the the",
+    )
+
+
+class TestAnalysisCaching:
+    def test_term_freqs(self, doc: Document) -> None:
+        assert doc.term_freqs == {"chord": 3, "ring": 2, "lookup": 1}
+
+    def test_stop_words_excluded_from_length(self, doc: Document) -> None:
+        # "the" ×3 removed → 6 analyzed occurrences.
+        assert doc.length == 6
+
+    def test_unique_terms(self, doc: Document) -> None:
+        assert doc.unique_terms == 3
+
+    def test_analyze_idempotent(self, doc: Document) -> None:
+        doc.analyze()
+        first = doc.term_freqs
+        doc.analyze()
+        assert doc.term_freqs is first
+
+
+class TestNormalizedTf:
+    def test_values(self, doc: Document) -> None:
+        assert doc.normalized_tf("chord") == pytest.approx(3 / 6)
+        assert doc.normalized_tf("lookup") == pytest.approx(1 / 6)
+
+    def test_absent_term(self, doc: Document) -> None:
+        assert doc.normalized_tf("unknown") == 0.0
+
+    def test_empty_document(self) -> None:
+        empty = Document(doc_id="e", text="the and of")
+        assert empty.length == 0
+        assert empty.normalized_tf("the") == 0.0
+
+
+class TestTopTerms:
+    def test_ranking_by_frequency(self, doc: Document) -> None:
+        assert doc.top_terms(2) == ["chord", "ring"]
+
+    def test_k_larger_than_vocabulary(self, doc: Document) -> None:
+        assert doc.top_terms(100) == ["chord", "ring", "lookup"]
+
+    def test_alphabetical_tie_break(self) -> None:
+        d = Document(doc_id="t", text="zebra apple zebra apple")
+        assert d.top_terms(2) == ["appl", "zebra"]
+
+    def test_term_rank(self, doc: Document) -> None:
+        ranks = doc.term_rank()
+        assert ranks["chord"] == 0
+        assert ranks["ring"] == 1
+        assert ranks["lookup"] == 2
+
+    def test_weight_pairs_sorted(self, doc: Document) -> None:
+        pairs = doc.as_weight_pairs()
+        assert pairs == [("chord", 3), ("ring", 2), ("lookup", 1)]
+
+
+class TestContains:
+    def test_contains_analyzed_term(self, doc: Document) -> None:
+        assert doc.contains("chord")
+        assert not doc.contains("the")       # stop word
+        assert not doc.contains("unknown")
+
+    def test_contains_respects_stemming(self) -> None:
+        d = Document(doc_id="s", text="running quickly")
+        assert d.contains("run")
+        assert not d.contains("running")

@@ -1,0 +1,133 @@
+"""Tests for corpus/query-set persistence."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import (
+    Corpus,
+    Document,
+    Qrels,
+    Query,
+    QuerySet,
+    load_collection,
+    load_corpus,
+    load_query_set,
+    save_collection,
+    save_corpus,
+    save_query_set,
+)
+from repro.exceptions import CorpusError
+
+
+@pytest.fixture()
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            Document("d1", "alpha beta gamma", title="First"),
+            Document("d2", "delta epsilon zeta"),
+        ]
+    )
+
+
+@pytest.fixture()
+def query_set() -> QuerySet:
+    return QuerySet(
+        [
+            Query("q1", ("alpha", "beta")),
+            Query("q1.0", ("alpha", "noise"), origin_id="q1"),
+        ],
+        Qrels({"q1": {"d1"}, "q1.0": {"d1", "d2"}}),
+    )
+
+
+class TestCorpusRoundTrip:
+    def test_plain_json(self, corpus: Corpus, tmp_path: Path) -> None:
+        path = tmp_path / "corpus.json"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.doc_ids == corpus.doc_ids
+        assert loaded.get("d1").text == "alpha beta gamma"
+        assert loaded.get("d1").title == "First"
+
+    def test_gzip(self, corpus: Corpus, tmp_path: Path) -> None:
+        path = tmp_path / "corpus.json.gz"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.doc_ids == corpus.doc_ids
+
+    def test_statistics_survive(self, corpus: Corpus, tmp_path: Path) -> None:
+        path = tmp_path / "c.json"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.distribution("alpha") == corpus.distribution("alpha")
+
+    def test_wrong_format_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CorpusError):
+            load_corpus(path)
+
+    def test_wrong_version_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"format": "repro-corpus", "version": 999, "documents": []})
+        )
+        with pytest.raises(CorpusError):
+            load_corpus(path)
+
+
+class TestQuerySetRoundTrip:
+    def test_queries_and_qrels(self, query_set: QuerySet, tmp_path: Path) -> None:
+        path = tmp_path / "queries.json"
+        save_query_set(query_set, path)
+        loaded = load_query_set(path)
+        assert [q.query_id for q in loaded] == [q.query_id for q in query_set]
+        assert loaded.by_id("q1.0").origin_id == "q1"
+        assert loaded.qrels.relevant("q1.0") == {"d1", "d2"}
+
+    def test_gzip(self, query_set: QuerySet, tmp_path: Path) -> None:
+        path = tmp_path / "queries.json.gz"
+        save_query_set(query_set, path)
+        assert len(load_query_set(path)) == 2
+
+    def test_wrong_format_rejected(self, tmp_path: Path) -> None:
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "repro-corpus"}))
+        with pytest.raises(CorpusError):
+            load_query_set(path)
+
+
+class TestCollection:
+    def test_directory_round_trip(self, corpus, query_set, tmp_path: Path) -> None:
+        save_collection(corpus, query_set, tmp_path / "col")
+        loaded_corpus, loaded_queries = load_collection(tmp_path / "col")
+        assert loaded_corpus.doc_ids == corpus.doc_ids
+        assert len(loaded_queries) == len(query_set)
+
+    def test_uncompressed_variant(self, corpus, query_set, tmp_path: Path) -> None:
+        paths = save_collection(corpus, query_set, tmp_path / "col", compress=False)
+        assert all(p.suffix == ".json" for p in paths)
+        loaded_corpus, __ = load_collection(tmp_path / "col")
+        assert len(loaded_corpus) == 2
+
+    def test_missing_directory(self, tmp_path: Path) -> None:
+        with pytest.raises(CorpusError):
+            load_collection(tmp_path / "nothing")
+
+    def test_synthetic_collection_round_trip(self, micro_corpus_config, tmp_path: Path) -> None:
+        """Full-fidelity check on a generated collection."""
+        from repro.corpus import build_synthetic_collection
+
+        corpus, queries, __ = build_synthetic_collection(micro_corpus_config)
+        save_collection(corpus, queries, tmp_path / "syn")
+        loaded_corpus, loaded_queries = load_collection(tmp_path / "syn")
+        assert loaded_corpus.doc_ids == corpus.doc_ids
+        assert [q.terms for q in loaded_queries] == [q.terms for q in queries]
+        for q in queries:
+            assert loaded_queries.qrels.relevant(q.query_id) == queries.qrels.relevant(
+                q.query_id
+            )

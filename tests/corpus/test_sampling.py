@@ -1,0 +1,110 @@
+"""Tests for the deterministic sampling helpers."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.sampling import CategoricalSampler, ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_values(self) -> None:
+        w = zipf_weights(4, 1.0)
+        assert w == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+
+    def test_zero_exponent_uniform(self) -> None:
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_monotone_decreasing(self) -> None:
+        w = zipf_weights(100, 0.5)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_invalid_n(self) -> None:
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_negative_exponent(self) -> None:
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.1)
+
+
+class TestCategoricalSampler:
+    def test_deterministic_for_seed(self) -> None:
+        sampler = CategoricalSampler(["a", "b", "c"], [1, 2, 3])
+        first = sampler.sample_many(random.Random(42), 50)
+        second = sampler.sample_many(random.Random(42), 50)
+        assert first == second
+
+    def test_zero_weight_never_sampled(self) -> None:
+        sampler = CategoricalSampler(["never", "always"], [0.0, 1.0])
+        draws = sampler.sample_many(random.Random(1), 200)
+        assert set(draws) == {"always"}
+
+    def test_skew_respected(self) -> None:
+        sampler = CategoricalSampler(["hot", "cold"], [9.0, 1.0])
+        counts = Counter(sampler.sample_many(random.Random(7), 2000))
+        assert counts["hot"] > counts["cold"] * 4
+
+    def test_mismatched_lengths(self) -> None:
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a"], [1.0, 2.0])
+
+    def test_empty_items(self) -> None:
+        with pytest.raises(ValueError):
+            CategoricalSampler([], [])
+
+    def test_negative_weight(self) -> None:
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a"], [-1.0])
+
+    def test_all_zero_weights(self) -> None:
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a", "b"], [0.0, 0.0])
+
+    def test_sample_distinct_no_duplicates(self) -> None:
+        sampler = CategoricalSampler(list("abcdefgh"), [1] * 8)
+        chosen = sampler.sample_distinct(random.Random(3), 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_sample_distinct_exhausts_pool(self) -> None:
+        sampler = CategoricalSampler(["a", "b"], [1, 1])
+        chosen = sampler.sample_distinct(random.Random(3), 10)
+        assert sorted(chosen) == ["a", "b"]
+
+    def test_sample_distinct_with_extreme_skew_completes(self) -> None:
+        """Rejection sampling must fall back to exhaustive selection
+        when one item dominates the probability mass."""
+        sampler = CategoricalSampler(["hog", "rare1", "rare2"], [1e9, 1e-9, 1e-9])
+        chosen = sampler.sample_distinct(random.Random(5), 3)
+        assert sorted(chosen) == ["hog", "rare1", "rare2"]
+
+
+class TestZipfSampler:
+    def test_first_rank_most_common(self) -> None:
+        sampler = ZipfSampler(list("abcdef"), 1.2)
+        counts = Counter(sampler.sample_many(random.Random(11), 3000))
+        assert counts["a"] == max(counts.values())
+
+    def test_uniform_when_exponent_zero(self) -> None:
+        sampler = ZipfSampler(["x", "y"], 0.0)
+        counts = Counter(sampler.sample_many(random.Random(13), 4000))
+        assert abs(counts["x"] - counts["y"]) < 400
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50)
+def test_samples_always_from_items(weights: list, seed: int) -> None:
+    items = [f"item{i}" for i in range(len(weights))]
+    sampler = CategoricalSampler(items, weights)
+    rng = random.Random(seed)
+    for __ in range(20):
+        assert sampler.sample(rng) in items

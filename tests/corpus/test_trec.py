@@ -1,0 +1,178 @@
+"""Tests for the TREC / OHSUMED format loaders."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.trec import (
+    iter_ohsumed_documents,
+    iter_trec_documents,
+    load_qrels,
+    load_trec_collection,
+    load_trec_documents,
+    load_trec_topics,
+)
+from repro.exceptions import CorpusError
+
+TREC_SAMPLE = """
+<DOC>
+<DOCNO> FT911-1 </DOCNO>
+<TITLE>Chord networks</TITLE>
+<TEXT>
+structured overlay networks route lookups in logarithmic hops
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO>FT911-2</DOCNO>
+<TEXT>distributed inverted indexes are expensive to maintain</TEXT>
+<TEXT>selective indexing reduces the cost</TEXT>
+</DOC>
+"""
+
+TOPICS_SAMPLE = """
+<top>
+<num> Number: 451
+<title> peer to peer retrieval
+<desc> Description: systems for searching p2p networks
+</top>
+<top>
+<num> 452
+<title> Topic: index maintenance cost
+</top>
+"""
+
+QRELS_SAMPLE = """\
+451 0 FT911-1 1
+451 0 FT911-2 0
+452 0 FT911-2 1
+452 0 FT911-1 2
+"""
+
+OHSUMED_SAMPLE = """\
+.I 1
+.U
+87049087
+.T
+Peer to peer text retrieval
+.W
+selective indexing of characteristic terms in overlay networks
+.I 2
+.U
+87049088
+.T
+Index maintenance
+.W
+progressive refinement from historical queries
+"""
+
+
+class TestTrecDocuments:
+    def test_parse_count(self) -> None:
+        docs = list(iter_trec_documents(TREC_SAMPLE))
+        assert len(docs) == 2
+
+    def test_docno_stripped(self) -> None:
+        docs = list(iter_trec_documents(TREC_SAMPLE))
+        assert docs[0].doc_id == "FT911-1"
+        assert docs[1].doc_id == "FT911-2"
+
+    def test_title_extracted(self) -> None:
+        docs = list(iter_trec_documents(TREC_SAMPLE))
+        assert docs[0].title == "Chord networks"
+
+    def test_multiple_text_blocks_joined(self) -> None:
+        docs = list(iter_trec_documents(TREC_SAMPLE))
+        assert "selective indexing" in docs[1].text
+        assert "expensive to maintain" in docs[1].text
+
+    def test_missing_docno_raises(self) -> None:
+        with pytest.raises(CorpusError):
+            list(iter_trec_documents("<DOC><TEXT>no id</TEXT></DOC>"))
+
+    def test_load_from_files(self, tmp_path: Path) -> None:
+        f = tmp_path / "docs.sgml"
+        f.write_text(TREC_SAMPLE)
+        docs = load_trec_documents([f])
+        assert len(docs) == 2
+
+    def test_load_empty_file_raises(self, tmp_path: Path) -> None:
+        f = tmp_path / "empty.sgml"
+        f.write_text("nothing here")
+        with pytest.raises(CorpusError):
+            load_trec_documents([f])
+
+
+class TestOhsumed:
+    def test_parse_count(self) -> None:
+        docs = list(iter_ohsumed_documents(OHSUMED_SAMPLE))
+        assert len(docs) == 2
+
+    def test_uid_used_as_doc_id(self) -> None:
+        docs = list(iter_ohsumed_documents(OHSUMED_SAMPLE))
+        assert docs[0].doc_id == "87049087"
+        assert docs[1].doc_id == "87049088"
+
+    def test_title_and_body_joined(self) -> None:
+        docs = list(iter_ohsumed_documents(OHSUMED_SAMPLE))
+        assert "Peer to peer" in docs[0].text
+        assert "selective indexing" in docs[0].text
+
+
+class TestTopics:
+    def test_parse_topics(self, tmp_path: Path) -> None:
+        f = tmp_path / "topics.txt"
+        f.write_text(TOPICS_SAMPLE)
+        topics = load_trec_topics(f)
+        assert [t.query_id for t in topics] == ["451", "452"]
+
+    def test_title_analyzed(self, tmp_path: Path) -> None:
+        f = tmp_path / "topics.txt"
+        f.write_text(TOPICS_SAMPLE)
+        topics = load_trec_topics(f)
+        # "peer to peer retrieval" → stop word "to" removed, stemmed.
+        assert "peer" in topics[0].terms
+        assert "retriev" in topics[0].terms
+        assert "to" not in topics[0].terms
+
+    def test_empty_topics_raise(self, tmp_path: Path) -> None:
+        f = tmp_path / "topics.txt"
+        f.write_text("no topics at all")
+        with pytest.raises(CorpusError):
+            load_trec_topics(f)
+
+
+class TestQrels:
+    def test_positive_judgments_only(self, tmp_path: Path) -> None:
+        f = tmp_path / "qrels.txt"
+        f.write_text(QRELS_SAMPLE)
+        qrels = load_qrels(f)
+        assert qrels.relevant("451") == {"FT911-1"}
+        assert qrels.relevant("452") == {"FT911-2", "FT911-1"}
+
+    def test_malformed_lines_skipped(self, tmp_path: Path) -> None:
+        f = tmp_path / "qrels.txt"
+        f.write_text("451 0 FT911-1 1\nbroken line\n")
+        qrels = load_qrels(f)
+        assert qrels.relevant("451") == {"FT911-1"}
+
+    def test_empty_raises(self, tmp_path: Path) -> None:
+        f = tmp_path / "qrels.txt"
+        f.write_text("")
+        with pytest.raises(CorpusError):
+            load_qrels(f)
+
+
+class TestFullCollection:
+    def test_one_call_loader(self, tmp_path: Path) -> None:
+        docs = tmp_path / "docs.sgml"
+        docs.write_text(TREC_SAMPLE)
+        topics = tmp_path / "topics.txt"
+        topics.write_text(TOPICS_SAMPLE)
+        qrels = tmp_path / "qrels.txt"
+        qrels.write_text(QRELS_SAMPLE)
+        corpus, query_set = load_trec_collection([docs], topics, qrels)
+        assert len(corpus) == 2
+        assert len(query_set) == 2
+        assert query_set.qrels.relevant("451") == {"FT911-1"}

@@ -1,0 +1,105 @@
+"""Tests for the Bloom filter substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.bloom import BloomFilter, intersection_plan
+
+
+class TestBasics:
+    def test_members_always_found(self) -> None:
+        bloom = BloomFilter(capacity=100)
+        keys = [f"doc{i}" for i in range(100)]
+        bloom.update(keys)
+        for key in keys:
+            assert key in bloom
+
+    def test_empty_filter_rejects_everything(self) -> None:
+        bloom = BloomFilter(capacity=10)
+        assert "anything" not in bloom
+        assert bloom.expected_false_positive_rate == 0.0
+
+    def test_len_counts_insertions(self) -> None:
+        bloom = BloomFilter(capacity=10)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, error_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, error_rate=1.0)
+
+
+class TestSizing:
+    def test_lower_error_rate_bigger_filter(self) -> None:
+        loose = BloomFilter(capacity=1000, error_rate=0.1)
+        tight = BloomFilter(capacity=1000, error_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+        assert tight.num_hashes >= loose.num_hashes
+
+    def test_size_bytes_matches_bit_array(self) -> None:
+        bloom = BloomFilter(capacity=100, error_rate=0.01)
+        assert bloom.size_bytes == (bloom.num_bits + 7) // 8
+
+    def test_filter_much_smaller_than_posting_list(self) -> None:
+        """The compression argument: a 1%-error filter over n keys takes
+        ~1.2 bytes/key vs 24 bytes/posting."""
+        n = 5000
+        bloom = BloomFilter.from_keys([f"doc{i}" for i in range(n)], 0.01)
+        assert bloom.size_bytes < n * 24 / 10
+
+
+class TestFalsePositives:
+    def test_empirical_rate_near_target(self) -> None:
+        rng = random.Random(7)
+        members = [f"m{i}" for i in range(2000)]
+        bloom = BloomFilter.from_keys(members, error_rate=0.02)
+        probes = [f"x{rng.random()}" for __ in range(4000)]
+        fp = sum(1 for p in probes if p in bloom)
+        assert fp / len(probes) < 0.06  # 3x headroom over target
+
+    def test_expected_rate_increases_with_fill(self) -> None:
+        bloom = BloomFilter(capacity=100, error_rate=0.01)
+        rates = []
+        for i in range(100):
+            bloom.add(f"k{i}")
+            rates.append(bloom.expected_false_positive_rate)
+        assert rates[-1] > rates[0]
+        assert rates == sorted(rates)
+
+    def test_filter_candidates_superset_of_members(self) -> None:
+        members = [f"m{i}" for i in range(50)]
+        bloom = BloomFilter.from_keys(members)
+        universe = members + [f"other{i}" for i in range(50)]
+        survivors = set(bloom.filter_candidates(universe))
+        assert set(members) <= survivors
+
+
+class TestIntersectionPlan:
+    def test_rarest_first(self) -> None:
+        assert intersection_plan([500, 3, 70]) == [1, 2, 0]
+
+    def test_stable_on_ties(self) -> None:
+        assert intersection_plan([5, 5, 5]) == [0, 1, 2]
+
+    def test_empty(self) -> None:
+        assert intersection_plan([]) == []
+
+
+@settings(max_examples=40)
+@given(st.sets(st.text(min_size=1, max_size=12), min_size=1, max_size=80))
+def test_no_false_negatives_property(keys: set) -> None:
+    """Bloom filters may lie about membership but never about
+    non-membership of inserted keys."""
+    bloom = BloomFilter.from_keys(sorted(keys), error_rate=0.05)
+    for key in keys:
+        assert key in bloom

@@ -1,0 +1,96 @@
+"""Tests for the churn model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig
+from repro.dht import ChordRing, ChurnModel
+from repro.exceptions import EmptyRingError
+
+
+def make_ring(num_peers: int = 20, seed: int = 3) -> ChordRing:
+    return ChordRing(ChordConfig(num_peers=num_peers, id_bits=16, seed=seed))
+
+
+class TestSingleEvents:
+    def test_fail_random_removes_one(self) -> None:
+        ring = make_ring()
+        churn = ChurnModel(ring, seed=1)
+        victim = churn.fail_random()
+        assert ring.num_live == 19
+        assert victim not in ring.live_ids
+        assert not ring.node(victim).alive
+
+    def test_leave_random_removes_one(self) -> None:
+        ring = make_ring()
+        churn = ChurnModel(ring, seed=1)
+        victim = churn.leave_random()
+        assert ring.num_live == 19
+        assert victim not in ring.live_ids
+
+    def test_join_one_adds_one(self) -> None:
+        ring = make_ring()
+        churn = ChurnModel(ring, seed=1)
+        new_id = churn.join_one()
+        assert ring.num_live == 21
+        assert new_id in ring.live_ids
+
+    def test_history_recorded(self) -> None:
+        ring = make_ring()
+        churn = ChurnModel(ring, seed=1)
+        churn.fail_random()
+        churn.join_one()
+        assert [e.kind for e in churn.history] == ["fail", "join"]
+
+    def test_leave_last_node_rejected(self) -> None:
+        ring = make_ring(num_peers=1)
+        with pytest.raises(EmptyRingError):
+            ChurnModel(ring).leave_random()
+
+
+class TestBulkSchedules:
+    def test_fail_fraction_counts(self) -> None:
+        ring = make_ring(num_peers=20)
+        victims = ChurnModel(ring, seed=5).fail_fraction(0.25)
+        assert len(victims) == 5
+        assert ring.num_live == 15
+
+    def test_fail_fraction_zero(self) -> None:
+        ring = make_ring()
+        assert ChurnModel(ring).fail_fraction(0.0) == []
+        assert ring.num_live == 20
+
+    def test_fail_fraction_bounds(self) -> None:
+        with pytest.raises(ValueError):
+            ChurnModel(make_ring()).fail_fraction(1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(make_ring()).fail_fraction(-0.1)
+
+    def test_fail_fraction_never_empties_ring(self) -> None:
+        ring = make_ring(num_peers=4)
+        ChurnModel(ring, seed=2).fail_fraction(0.99)
+        assert ring.num_live >= 1
+
+    def test_session_churn_keeps_ring_routable(self) -> None:
+        ring = make_ring(num_peers=16)
+        churn = ChurnModel(ring, seed=8)
+        events = churn.session_churn(rounds=20, p_fail=0.5)
+        assert len(events) == 20
+        # After stabilized churn every lookup must still match the oracle.
+        import random
+        rng = random.Random(4)
+        for __ in range(50):
+            key = rng.randrange(ring.space.size)
+            result = ring.lookup(ring.random_live_id(rng), key, record=False)
+            assert result.node_id == ring.successor_of(key)
+
+    def test_session_churn_negative_rounds(self) -> None:
+        with pytest.raises(ValueError):
+            ChurnModel(make_ring()).session_churn(-1)
+
+    def test_deterministic_for_seed(self) -> None:
+        r1, r2 = make_ring(seed=3), make_ring(seed=3)
+        e1 = ChurnModel(r1, seed=77).session_churn(10)
+        e2 = ChurnModel(r2, seed=77).session_churn(10)
+        assert [(e.kind, e.node_id) for e in e1] == [(e.kind, e.node_id) for e in e2]

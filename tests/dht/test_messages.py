@@ -1,0 +1,63 @@
+"""Tests for message types and the size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.messages import (
+    ALL_KINDS,
+    Message,
+    MessageKind,
+    POSTING_BYTES,
+    QUERY_HEADER_BYTES,
+    TERM_BYTES,
+    postings_message,
+    publish_message,
+    query_batch_message,
+    search_message,
+)
+
+
+class TestMessage:
+    def test_frozen(self) -> None:
+        msg = Message(MessageKind.LOOKUP, src=1, dst=2)
+        with pytest.raises(AttributeError):
+            msg.src = 9  # type: ignore[misc]
+
+    def test_negative_size_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Message(MessageKind.LOOKUP, 1, 2, size_bytes=-1)
+
+    def test_negative_hops_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Message(MessageKind.LOOKUP, 1, 2, hops=-1)
+
+    def test_all_kinds_enumerated(self) -> None:
+        assert len(ALL_KINDS) == len(MessageKind)
+        assert MessageKind.PUBLISH_TERM in ALL_KINDS
+
+
+class TestFactories:
+    def test_publish_size(self) -> None:
+        msg = publish_message(1, 2, hops=3)
+        assert msg.kind is MessageKind.PUBLISH_TERM
+        assert msg.size_bytes == TERM_BYTES + POSTING_BYTES
+        assert msg.hops == 3
+
+    def test_search_size(self) -> None:
+        msg = search_message(1, 2, hops=4)
+        assert msg.kind is MessageKind.SEARCH_TERM
+        assert msg.size_bytes == TERM_BYTES + QUERY_HEADER_BYTES
+
+    def test_postings_scales_with_entries(self) -> None:
+        small = postings_message(1, 2, num_postings=1)
+        large = postings_message(1, 2, num_postings=100)
+        assert large.size_bytes - small.size_bytes == 99 * POSTING_BYTES
+
+    def test_empty_postings_header_only(self) -> None:
+        assert postings_message(1, 2, 0).size_bytes == QUERY_HEADER_BYTES
+
+    def test_query_batch_scales(self) -> None:
+        none = query_batch_message(1, 2, 0, 0.0)
+        some = query_batch_message(1, 2, 10, 4.0)
+        assert some.size_bytes > none.size_bytes

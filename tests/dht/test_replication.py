@@ -1,0 +1,130 @@
+"""Tests for successor-list replication (paper Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig
+from repro.dht import ChordRing, ReplicationManager
+from repro.dht.messages import MessageKind
+
+
+def ring_with_data(num_peers: int = 12, seed: int = 21) -> ChordRing:
+    ring = ChordRing(
+        ChordConfig(num_peers=num_peers, id_bits=16, successor_list_size=3, seed=seed)
+    )
+    for i in range(40):
+        ring.place((i * 1201) % ring.space.size, f"payload-{i}")
+    return ring
+
+
+class TestReplicationRound:
+    def test_copies_land_on_successors(self) -> None:
+        ring = ring_with_data()
+        manager = ReplicationManager(ring, replication_factor=2)
+        shipped = manager.replicate_round()
+        assert shipped > 0
+        for node_id in ring.live_ids:
+            node = ring.node(node_id)
+            if not node.store:
+                continue
+            for succ in node.successor_list[:2]:
+                succ_node = ring.node(succ)
+                for key in node.store:
+                    assert key in succ_node.replicas
+
+    def test_replication_traffic_recorded(self) -> None:
+        ring = ring_with_data()
+        ReplicationManager(ring, replication_factor=1).replicate_round()
+        assert ring.stats.kind(MessageKind.REPLICATE).messages > 0
+
+    def test_factor_bounded_by_successor_list(self) -> None:
+        ring = ring_with_data()
+        manager = ReplicationManager(ring, replication_factor=99)
+        assert manager.replication_factor == ring.config.successor_list_size
+
+    def test_invalid_factor(self) -> None:
+        with pytest.raises(ValueError):
+            ReplicationManager(ring_with_data(), replication_factor=0)
+
+    def test_deep_copy_isolates_replicas(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=3, id_bits=8, successor_list_size=2), node_ids=[10, 100, 200]
+        )
+        ring.place(50, {"mutable": 1})       # at node 100
+        ReplicationManager(ring, replication_factor=1).replicate_round()
+        ring.node(100).get(50)["mutable"] = 2
+        assert ring.node(200).replicas[50] == {"mutable": 1}
+
+
+class TestRecovery:
+    def test_data_survives_failure_with_replication(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=3, id_bits=8, successor_list_size=2), node_ids=[10, 100, 200]
+        )
+        ring.place(50, "precious")           # primary at node 100
+        manager = ReplicationManager(ring, replication_factor=1)
+        manager.replicate_round()
+        ring.fail(100)
+        promoted = manager.recover_from_failures()
+        assert promoted >= 1
+        # Node 200 now owns key 50 and must serve it as primary.
+        assert ring.successor_of(50) == 200
+        assert ring.node(200).get(50) == "precious"
+
+    def test_data_lost_without_replication(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=3, id_bits=8, successor_list_size=2), node_ids=[10, 100, 200]
+        )
+        ring.place(50, "precious")
+        ring.fail(100)
+        ring.stabilize()
+        assert ring.node(200).get(50) is None
+
+    def test_promote_skips_keys_not_owned(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=3, id_bits=8, successor_list_size=2), node_ids=[10, 100, 200]
+        )
+        ring.place(50, "v")
+        manager = ReplicationManager(ring, replication_factor=1)
+        manager.replicate_round()
+        # No failure: replicas must NOT be promoted anywhere.
+        promoted = manager.promote_replicas()
+        assert promoted == 0
+        assert ring.node(200).get(50) is None
+
+    def test_promote_discards_duplicate_replicas(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=2, id_bits=8, successor_list_size=1), node_ids=[100, 200]
+        )
+        ring.place(150, "v")                  # at 200
+        manager = ReplicationManager(ring, replication_factor=1)
+        manager.replicate_round()
+        # 100 holds a replica of key 150; 200 is still alive and owns it.
+        manager.promote_replicas()
+        assert ring.node(100).get(150) is None
+
+    def test_multi_failure_survival_rate(self) -> None:
+        """With r=3 replication, killing 3 of 12 nodes must preserve all
+        data after recovery."""
+        ring = ring_with_data(num_peers=12)
+        all_keys = {
+            key for node_id in ring.live_ids for key in ring.node(node_id).store
+        }
+        manager = ReplicationManager(ring, replication_factor=3)
+        manager.replicate_round()
+        for victim in list(ring.live_ids)[:3]:
+            ring.fail(victim)
+        manager.recover_from_failures()
+        surviving = {
+            key for node_id in ring.live_ids for key in ring.node(node_id).store
+        }
+        assert surviving >= all_keys - set()  # every key recovered
+        assert all_keys <= surviving
+
+    def test_replica_counts_inspection(self) -> None:
+        ring = ring_with_data()
+        manager = ReplicationManager(ring, replication_factor=1)
+        manager.replicate_round()
+        counts = manager.replica_counts()
+        assert sum(counts.values()) > 0

@@ -1,0 +1,99 @@
+"""Tests for network-cost accounting."""
+
+from __future__ import annotations
+
+from repro.dht.messages import Message, MessageKind
+from repro.dht.stats import KindStats, NetworkStats
+
+
+def msg(kind: MessageKind = MessageKind.SEARCH_TERM, size: int = 10, hops: int = 2) -> Message:
+    return Message(kind, src=1, dst=2, size_bytes=size, hops=hops)
+
+
+class TestRecording:
+    def test_totals(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(size=10, hops=2))
+        stats.record(msg(size=5, hops=1))
+        assert stats.total_messages == 2
+        assert stats.total_bytes == 15
+        assert stats.total_hops == 3
+
+    def test_per_kind_isolation(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.SEARCH_TERM))
+        stats.record(msg(MessageKind.PUBLISH_TERM))
+        assert stats.kind(MessageKind.SEARCH_TERM).messages == 1
+        assert stats.kind(MessageKind.PUBLISH_TERM).messages == 1
+        assert stats.kind(MessageKind.REPLICATE).messages == 0
+
+    def test_unknown_kind_returns_zeros(self) -> None:
+        empty = NetworkStats().kind(MessageKind.HEARTBEAT)
+        assert (empty.messages, empty.bytes, empty.hops) == (0, 0, 0)
+
+
+class TestLookups:
+    def test_lookup_hop_tracking(self) -> None:
+        stats = NetworkStats()
+        stats.record_lookup(3)
+        stats.record_lookup(5)
+        assert stats.lookup_hop_samples == [3, 5]
+        assert stats.mean_lookup_hops == 4.0
+
+    def test_mean_with_no_lookups(self) -> None:
+        assert NetworkStats().mean_lookup_hops == 0.0
+
+    def test_lookup_counted_as_messages(self) -> None:
+        stats = NetworkStats()
+        stats.record_lookup(4)
+        assert stats.kind(MessageKind.LOOKUP).messages == 1
+        assert stats.kind(MessageKind.LOOKUP).hops == 4
+
+
+class TestSnapshots:
+    def test_delta_since(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(size=10, hops=1))
+        snap = stats.snapshot()
+        stats.record(msg(size=7, hops=2))
+        delta = stats.delta_since(snap)
+        assert delta[MessageKind.SEARCH_TERM].messages == 1
+        assert delta[MessageKind.SEARCH_TERM].bytes == 7
+        assert delta[MessageKind.SEARCH_TERM].hops == 2
+
+    def test_delta_empty_when_nothing_happened(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg())
+        snap = stats.snapshot()
+        assert stats.delta_since(snap) == {}
+
+    def test_snapshot_is_isolated_copy(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg())
+        snap = stats.snapshot()
+        stats.record(msg())
+        assert snap[MessageKind.SEARCH_TERM].messages == 1
+
+
+class TestReset:
+    def test_reset_clears_everything(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg())
+        stats.record_lookup(2)
+        stats.reset()
+        assert stats.total_messages == 0
+        assert stats.lookup_hop_samples == []
+
+
+class TestSummary:
+    def test_summary_structure(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.PUBLISH_TERM, size=11, hops=3))
+        summary = stats.summary()
+        assert summary["publish_term"] == {"messages": 1, "bytes": 11, "hops": 3}
+
+
+class TestKindStats:
+    def test_merge(self) -> None:
+        merged = KindStats(1, 10, 2).merged_with(KindStats(2, 20, 3))
+        assert (merged.messages, merged.bytes, merged.hops) == (3, 30, 5)

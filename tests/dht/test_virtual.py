@@ -1,0 +1,86 @@
+"""Tests for virtual-node topologies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.virtual import (
+    VirtualTopology,
+    build_virtual_topology,
+    load_coefficient_of_variation,
+    recommended_vnodes,
+)
+from repro.exceptions import ConfigurationError
+
+
+def place_uniform_keys(topology: VirtualTopology, count: int, seed: int = 3) -> None:
+    rng = random.Random(seed)
+    for i in range(count):
+        topology.ring.place(rng.randrange(topology.ring.space.size), f"k{i}")
+
+
+class TestConstruction:
+    def test_total_virtual_nodes(self) -> None:
+        topo = build_virtual_topology(num_peers=10, vnodes_per_peer=4)
+        assert topo.ring.num_live == 40
+        assert len(topo.peer_of) == 40
+
+    def test_every_peer_gets_its_vnodes(self) -> None:
+        topo = build_virtual_topology(num_peers=6, vnodes_per_peer=3)
+        for peer in topo.physical_peers():
+            assert len(topo.virtual_ids_of(peer)) == 3
+
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            build_virtual_topology(num_peers=0, vnodes_per_peer=1)
+        with pytest.raises(ConfigurationError):
+            build_virtual_topology(num_peers=5, vnodes_per_peer=0)
+
+    def test_deterministic(self) -> None:
+        a = build_virtual_topology(8, 2, seed=9)
+        b = build_virtual_topology(8, 2, seed=9)
+        assert a.ring.live_ids == b.ring.live_ids
+        assert a.peer_of == b.peer_of
+
+
+class TestLoadBalance:
+    def test_arc_shares_sum_to_one(self) -> None:
+        topo = build_virtual_topology(num_peers=12, vnodes_per_peer=4)
+        assert sum(topo.physical_arc_shares().values()) == pytest.approx(1.0)
+
+    def test_virtual_nodes_even_out_keys(self) -> None:
+        """The headline property: more virtual nodes per peer → lower
+        coefficient of variation of per-peer key load."""
+        single = build_virtual_topology(num_peers=24, vnodes_per_peer=1, seed=5)
+        many = build_virtual_topology(num_peers=24, vnodes_per_peer=8, seed=5)
+        place_uniform_keys(single, 3000)
+        place_uniform_keys(many, 3000)
+        cv_single = load_coefficient_of_variation(single.physical_slot_loads())
+        cv_many = load_coefficient_of_variation(many.physical_slot_loads())
+        assert cv_many < cv_single
+
+    def test_all_keys_accounted_for(self) -> None:
+        topo = build_virtual_topology(num_peers=8, vnodes_per_peer=3)
+        place_uniform_keys(topo, 500)
+        assert sum(topo.physical_slot_loads().values()) <= 500  # collisions overwrite
+        assert sum(topo.physical_slot_loads().values()) > 450
+
+
+class TestHelpers:
+    def test_cv_of_even_load_is_zero(self) -> None:
+        assert load_coefficient_of_variation({0: 5, 1: 5, 2: 5}) == 0.0
+
+    def test_cv_empty(self) -> None:
+        assert load_coefficient_of_variation({}) == 0.0
+        assert load_coefficient_of_variation({0: 0}) == 0.0
+
+    def test_recommended_vnodes_logarithmic(self) -> None:
+        assert recommended_vnodes(2) == 1
+        assert recommended_vnodes(64) == 6
+        assert recommended_vnodes(1024) == 10
+
+    def test_recommended_vnodes_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            recommended_vnodes(0)

@@ -1,0 +1,102 @@
+"""Tests for local-context-analysis query expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document, Query
+from repro.extensions import LocalContextAnalyzer, expansion_gain
+from repro.ir import CentralizedSystem
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    """'anchor' strongly co-occurs with 'companion' in the relevant
+    documents; 'decoy' lives in unrelated documents."""
+    docs = []
+    for i in range(6):
+        docs.append(
+            Document(f"rel{i}", "anchor anchor companion companion companion signal")
+        )
+    for i in range(6):
+        docs.append(Document(f"other{i}", f"decoy decoy noise{i} noise{i} static"))
+    return Corpus(docs)
+
+
+@pytest.fixture(scope="module")
+def centralized(corpus: Corpus) -> CentralizedSystem:
+    return CentralizedSystem(corpus)
+
+
+class TestScoring:
+    def test_cooccurring_term_scores_highest(self, corpus: Corpus) -> None:
+        analyzer = LocalContextAnalyzer(corpus, context_size=6, expansion_terms=2)
+        query = Query("q", ("anchor",))
+        scored = analyzer.score_candidates(query, [f"rel{i}" for i in range(6)])
+        assert scored[0][0] == "companion"
+
+    def test_query_terms_excluded_from_candidates(self, corpus: Corpus) -> None:
+        analyzer = LocalContextAnalyzer(corpus)
+        scored = analyzer.score_candidates(Query("q", ("anchor",)), ["rel0"])
+        assert all(term != "anchor" for term, __ in scored)
+
+    def test_context_without_query_terms_contributes_nothing(self, corpus: Corpus) -> None:
+        analyzer = LocalContextAnalyzer(corpus)
+        scored = analyzer.score_candidates(Query("q", ("anchor",)), ["other0"])
+        assert scored == []
+
+
+class TestExpand:
+    def test_expansion_appends_terms(self, corpus: Corpus, centralized) -> None:
+        analyzer = LocalContextAnalyzer(corpus, context_size=5, expansion_terms=2)
+        query = Query("q", ("anchor",))
+        expanded = analyzer.expand(query, centralized.search)
+        assert set(query.terms) < set(expanded.terms)
+        assert "companion" in expanded.terms
+        assert expanded.query_id.endswith("+lca")
+
+    def test_origin_preserved(self, corpus: Corpus, centralized) -> None:
+        query = Query("q7.1", ("anchor",), origin_id="q7")
+        expanded = LocalContextAnalyzer(corpus, expansion_terms=1).expand(
+            query, centralized.search
+        )
+        assert expanded.origin_id == "q7"
+
+    def test_no_matches_returns_original(self, corpus: Corpus, centralized) -> None:
+        query = Query("q", ("zzznothing",))
+        expanded = LocalContextAnalyzer(corpus).expand(query, centralized.search)
+        assert expanded is query
+
+    def test_zero_expansion_terms(self, corpus: Corpus, centralized) -> None:
+        analyzer = LocalContextAnalyzer(corpus, expansion_terms=0)
+        query = Query("q", ("anchor",))
+        assert analyzer.expand(query, centralized.search) is query
+
+    def test_invalid_parameters(self, corpus: Corpus) -> None:
+        with pytest.raises(ValueError):
+            LocalContextAnalyzer(corpus, context_size=0)
+        with pytest.raises(ValueError):
+            LocalContextAnalyzer(corpus, expansion_terms=-1)
+
+
+class TestExpansionGain:
+    def test_gain_measured(self, corpus: Corpus, centralized) -> None:
+        analyzer = LocalContextAnalyzer(corpus, context_size=4, expansion_terms=2)
+        queries = [Query("q", ("anchor",))]
+        relevant = {f"rel{i}" for i in range(6)}
+        base, expanded = expansion_gain(
+            analyzer,
+            queries,
+            centralized.search,
+            relevant_of=lambda qid: relevant,
+            k=6,
+        )
+        assert 0.0 <= base <= 1.0
+        assert expanded >= base - 1e-9  # expansion must not hurt here
+
+    def test_empty_queries(self, corpus: Corpus, centralized) -> None:
+        analyzer = LocalContextAnalyzer(corpus)
+        base, expanded = expansion_gain(
+            analyzer, [], centralized.search, relevant_of=lambda q: set(), k=5
+        )
+        assert base == 0.0 and expanded == 0.0

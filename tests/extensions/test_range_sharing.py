@@ -1,0 +1,105 @@
+"""Tests for range-sharing load balance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig
+from repro.dht import ChordRing
+from repro.extensions import RangeSharingBalancer
+
+
+def loaded_ring() -> ChordRing:
+    """A 4-node ring where one node owns a hugely disproportionate arc
+    (and therefore most keys)."""
+    ring = ChordRing(
+        ChordConfig(num_peers=4, id_bits=16, successor_list_size=2),
+        node_ids=[100, 200, 300, 60000],
+    )
+    # Keys spread uniformly: node 60000 owns (300, 60000] — almost all.
+    for i in range(200):
+        ring.place((i * 327 + 11) % ring.space.size, f"v{i}")
+    return ring
+
+
+class TestSnapshot:
+    def test_loads_sorted_heaviest_first(self) -> None:
+        snap = RangeSharingBalancer(loaded_ring()).snapshot()
+        counts = [count for __, count in snap.loads]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_heaviest_is_the_big_arc(self) -> None:
+        snap = RangeSharingBalancer(loaded_ring()).snapshot()
+        assert snap.heaviest[0] == 60000
+
+    def test_imbalance_above_one(self) -> None:
+        snap = RangeSharingBalancer(loaded_ring()).snapshot()
+        assert snap.imbalance > 2.0
+
+
+class TestRebalanceStep:
+    def test_step_moves_helper_into_heavy_arc(self) -> None:
+        ring = loaded_ring()
+        balancer = RangeSharingBalancer(ring)
+        move = balancer.rebalance_step()
+        assert move is not None
+        overloaded, helper_old, helper_new = move
+        assert overloaded == 60000
+        assert helper_old not in ring.live_ids
+        assert helper_new in ring.live_ids
+        # The helper took over part of the heavy arc.
+        assert ring.space.in_interval(helper_new, 300, 60000)
+
+    def test_step_reduces_imbalance(self) -> None:
+        ring = loaded_ring()
+        balancer = RangeSharingBalancer(ring)
+        before = balancer.snapshot().imbalance
+        balancer.rebalance_step()
+        after = balancer.snapshot().imbalance
+        assert after < before
+
+    def test_no_keys_lost(self) -> None:
+        ring = loaded_ring()
+        total_before = sum(
+            len(ring.node(n).store) for n in ring.live_ids
+        )
+        RangeSharingBalancer(ring).rebalance(max_steps=4)
+        total_after = sum(len(ring.node(n).store) for n in ring.live_ids)
+        assert total_after == total_before
+
+    def test_routing_still_correct_after_rebalance(self) -> None:
+        import random
+
+        ring = loaded_ring()
+        RangeSharingBalancer(ring).rebalance(max_steps=4)
+        rng = random.Random(5)
+        for __ in range(60):
+            key = rng.randrange(ring.space.size)
+            assert (
+                ring.lookup(ring.random_live_id(rng), key, record=False).node_id
+                == ring.successor_of(key)
+            )
+
+    def test_balanced_ring_returns_none(self) -> None:
+        ring = ChordRing(
+            ChordConfig(num_peers=2, id_bits=16), node_ids=[0, 32768]
+        )
+        ring.place(10, "a")
+        ring.place(40000, "b")
+        assert RangeSharingBalancer(ring).rebalance_step() is None
+
+
+class TestRebalanceLoop:
+    def test_converges_toward_target(self) -> None:
+        ring = loaded_ring()
+        balancer = RangeSharingBalancer(ring)
+        moves = balancer.rebalance(max_steps=6, target_imbalance=2.0)
+        assert moves  # something happened
+        assert balancer.snapshot().imbalance < 4.0  # clearly improved
+
+    def test_parameter_validation(self) -> None:
+        balancer = RangeSharingBalancer(loaded_ring())
+        with pytest.raises(ValueError):
+            balancer.rebalance(max_steps=0)
+        with pytest.raises(ValueError):
+            balancer.rebalance(target_imbalance=0.5)

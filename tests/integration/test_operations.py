@@ -1,0 +1,111 @@
+"""Integration tests for the operational machinery working together:
+maintenance healing after churn, load balancing on a live system, and
+Bloom search over the learned distributed index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BloomQueryProcessor, MaintenanceDaemon
+from repro.dht import ReplicationManager
+from repro.evaluation.experiments import build_trained_sprite
+from repro.extensions import HotTermAdvisor, RangeSharingBalancer
+
+
+@pytest.fixture()
+def trained(small_env):
+    return build_trained_sprite(small_env)
+
+
+class TestMaintenanceAfterChurn:
+    def test_heal_restores_live_owner_documents(self, small_env, trained) -> None:
+        """Crash several slot-holding peers (no replication), stabilize,
+        heal via maintenance.  Every document whose *owner survived* must
+        be retrievable exactly as before; only documents owned by the
+        crashed peers may drop out (their owner — and hence the file
+        itself — is gone, so unfindability is correct, not a bug)."""
+        queries = small_env.test.queries[:15]
+        baseline = {
+            q.query_id: trained.search(q, top_k=500, cache=False).id_set()
+            for q in queries
+        }
+        victims = [
+            n for n in trained.ring.live_ids if trained.ring.node(n).store
+        ][:3]
+        dead_owner_docs = {
+            doc_id
+            for victim in victims
+            if victim in trained.owners
+            for doc_id in trained.owners[victim].shared
+        }
+        for victim in victims:
+            trained.ring.fail(victim)
+        trained.ring.stabilize()
+
+        MaintenanceDaemon(trained).heal_until_stable(max_rounds=4)
+
+        for query in queries:
+            after = trained.search(query, top_k=500, cache=False).id_set()
+            missing = baseline[query.query_id] - after
+            assert missing <= dead_owner_docs, (
+                f"{query.query_id}: lost live-owner documents {missing - dead_owner_docs}"
+            )
+            assert after <= baseline[query.query_id]
+
+    def test_maintenance_and_replication_compose(self, small_env, trained) -> None:
+        """With replication, recovery promotes replicas; a maintenance
+        round afterwards finds (almost) nothing left to republish."""
+        manager = ReplicationManager(trained.ring, replication_factor=3)
+        manager.replicate_round()
+        victims = [
+            n for n in trained.ring.live_ids if trained.ring.node(n).store
+        ][:2]
+        for victim in victims:
+            trained.ring.fail(victim)
+        manager.recover_from_failures()
+
+        report = MaintenanceDaemon(trained).run_round()
+        # Replication already restored the slots; maintenance republishes
+        # at most a handful of stragglers (replicas staler than the last
+        # learning iteration).
+        assert report.postings_republished <= report.postings_checked * 0.05
+
+
+class TestLoadBalancingOnLiveSystem:
+    def test_range_sharing_preserves_retrieval(self, small_env, trained) -> None:
+        baseline = trained.search(small_env.test.queries[0], cache=False).ids()
+        RangeSharingBalancer(trained.ring).rebalance(max_steps=3)
+        after = trained.search(small_env.test.queries[0], cache=False).ids()
+        assert after == baseline
+
+    def test_hot_term_advice_on_trained_system(self, small_env, trained) -> None:
+        advisor = HotTermAdvisor(trained, df_threshold=len(small_env.corpus) // 3)
+        hot_count, switches = advisor.rebalance()
+        if hot_count:
+            assert switches > 0
+        # System still answers after any rebalancing.
+        ranked = trained.search(small_env.test.queries[1], cache=False)
+        assert isinstance(ranked.ids(), list)
+
+
+class TestBloomOverTrainedIndex:
+    def test_bloom_matches_exact_conjunction(self, small_env, trained) -> None:
+        processor = BloomQueryProcessor(
+            trained.protocol,
+            assumed_corpus_size=trained.config.assumed_corpus_size,
+        )
+        multi = [q for q in small_env.test.queries if len(q.terms) >= 2][:10]
+        for query in multi:
+            issuer = trained._issuer_for(query)
+            ranked, execution = processor.execute(issuer, query)
+            exact = None
+            for term in query.terms:
+                postings, df = trained.protocol.fetch_postings(issuer, term)
+                if df == 0:
+                    continue
+                ids = {p.doc_id for p in postings}
+                exact = ids if exact is None else exact & ids
+            assert set(ranked.ids()) == (exact or set())
+            assert execution.naive_bytes >= execution.bytes_shipped or (
+                execution.candidates_after_chain > 0
+            )

@@ -1,0 +1,92 @@
+"""Tests for the centralized inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Corpus, Document
+from repro.ir.inverted_index import InvertedIndex
+
+
+@pytest.fixture()
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            Document("d1", "chord chord ring"),
+            Document("d2", "chord lookup lookup lookup"),
+            Document("d3", "ring ring ring finger"),
+        ]
+    )
+
+
+@pytest.fixture()
+def index(corpus: Corpus) -> InvertedIndex:
+    return InvertedIndex.from_corpus(corpus)
+
+
+class TestConstruction:
+    def test_document_count(self, index: InvertedIndex) -> None:
+        assert index.num_documents == 3
+
+    def test_term_count(self, index: InvertedIndex) -> None:
+        assert index.num_terms == 4  # chord, ring, lookup, finger
+
+    def test_total_postings(self, index: InvertedIndex) -> None:
+        # d1: chord, ring; d2: chord, lookup; d3: ring, finger → 6.
+        assert index.total_postings == 6
+
+    def test_contains(self, index: InvertedIndex) -> None:
+        assert "chord" in index
+        assert "ghost" not in index
+
+    def test_duplicate_add_ignored(self, corpus: Corpus, index: InvertedIndex) -> None:
+        index.add_document(corpus.get("d1"))
+        assert index.num_documents == 3
+
+
+class TestStatistics:
+    def test_document_frequency(self, index: InvertedIndex) -> None:
+        assert index.document_frequency("chord") == 2
+        assert index.document_frequency("finger") == 1
+        assert index.document_frequency("ghost") == 0
+
+    def test_doc_length(self, index: InvertedIndex) -> None:
+        assert index.doc_length("d1") == 3
+        assert index.doc_length("missing") == 0
+
+    def test_postings_content(self, index: InvertedIndex) -> None:
+        postings = {p.doc_id: p for p in index.postings("chord")}
+        assert postings["d1"].raw_tf == 2
+        assert postings["d1"].normalized_tf == pytest.approx(2 / 3)
+        assert postings["d1"].doc_length == 3
+        assert postings["d2"].raw_tf == 1
+
+    def test_postings_for_unknown_term(self, index: InvertedIndex) -> None:
+        assert index.postings("ghost") == []
+
+
+class TestRemoval:
+    def test_remove_document(self, corpus: Corpus, index: InvertedIndex) -> None:
+        index.remove_document(corpus.get("d1"))
+        assert index.num_documents == 2
+        assert index.document_frequency("chord") == 1
+        assert index.doc_length("d1") == 0
+
+    def test_remove_deletes_empty_posting_lists(
+        self, corpus: Corpus, index: InvertedIndex
+    ) -> None:
+        index.remove_document(corpus.get("d3"))
+        assert index.document_frequency("finger") == 0
+        assert "finger" not in index
+
+    def test_remove_unknown_is_noop(self, index: InvertedIndex) -> None:
+        ghost = Document("ghost", "phantom terms")
+        index.remove_document(ghost)
+        assert index.num_documents == 3
+
+    def test_add_after_remove(self, corpus: Corpus, index: InvertedIndex) -> None:
+        doc = corpus.get("d2")
+        index.remove_document(doc)
+        index.add_document(doc)
+        assert index.num_documents == 3
+        assert index.document_frequency("lookup") == 1

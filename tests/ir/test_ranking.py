@@ -1,0 +1,92 @@
+"""Tests for RankedList."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.ranking import RankedList, ScoredDoc
+
+
+@pytest.fixture()
+def ranked() -> RankedList:
+    return RankedList({"d1": 0.5, "d2": 0.9, "d3": 0.1, "d4": 0.9})
+
+
+class TestOrdering:
+    def test_descending_by_score(self, ranked: RankedList) -> None:
+        scores = [e.score for e in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tie_break_by_doc_id(self, ranked: RankedList) -> None:
+        # d2 and d4 tie at 0.9 → d2 first (ascending id).
+        assert ranked.top_ids(2) == ["d2", "d4"]
+
+    def test_accepts_pairs(self) -> None:
+        rl = RankedList([("x", 1.0), ("y", 2.0)])
+        assert rl.top_ids(2) == ["y", "x"]
+
+    def test_deterministic(self, ranked: RankedList) -> None:
+        again = RankedList({"d4": 0.9, "d3": 0.1, "d2": 0.9, "d1": 0.5})
+        assert ranked.ids() == again.ids()
+
+
+class TestAccess:
+    def test_len(self, ranked: RankedList) -> None:
+        assert len(ranked) == 4
+
+    def test_getitem(self, ranked: RankedList) -> None:
+        assert ranked[0] == ScoredDoc("d2", 0.9)
+
+    def test_top_k_shorter_than_list(self, ranked: RankedList) -> None:
+        assert len(ranked.top(2)) == 2
+
+    def test_top_k_longer_than_list(self, ranked: RankedList) -> None:
+        assert len(ranked.top(99)) == 4
+
+    def test_rank_of(self, ranked: RankedList) -> None:
+        assert ranked.rank_of("d2") == 0
+        assert ranked.rank_of("d3") == 3
+        assert ranked.rank_of("ghost") == -1
+
+    def test_contains(self, ranked: RankedList) -> None:
+        assert ranked.contains("d1")
+        assert not ranked.contains("ghost")
+
+    def test_scores_mapping(self, ranked: RankedList) -> None:
+        assert ranked.scores()["d1"] == 0.5
+
+    def test_id_set(self, ranked: RankedList) -> None:
+        assert ranked.id_set(2) == {"d2", "d4"}
+        assert ranked.id_set() == {"d1", "d2", "d3", "d4"}
+
+
+class TestTruncate:
+    def test_truncate_produces_new_list(self, ranked: RankedList) -> None:
+        top2 = ranked.truncate(2)
+        assert len(top2) == 2
+        assert top2.ids() == ["d2", "d4"]
+        assert len(ranked) == 4  # original untouched
+
+    def test_truncate_beyond_length(self, ranked: RankedList) -> None:
+        assert len(ranked.truncate(100)) == 4
+
+    def test_empty_list(self) -> None:
+        rl = RankedList({})
+        assert len(rl) == 0
+        assert rl.top_ids(5) == []
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdxyz", min_size=1, max_size=4),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        max_size=30,
+    )
+)
+def test_rank_of_consistent_with_iteration(scores: dict) -> None:
+    rl = RankedList(scores)
+    for rank, entry in enumerate(rl):
+        assert rl.rank_of(entry.doc_id) == rank
+    assert len(rl) == len(scores)

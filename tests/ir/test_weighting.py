@@ -1,0 +1,75 @@
+"""Tests for TF·IDF weighting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.weighting import TfIdfWeighting, idf, tf_idf
+
+
+class TestIdf:
+    def test_formula(self) -> None:
+        assert idf(1000, 10) == pytest.approx(math.log(100))
+
+    def test_zero_document_frequency(self) -> None:
+        assert idf(1000, 0) == 0.0
+
+    def test_zero_corpus(self) -> None:
+        assert idf(0, 5) == 0.0
+
+    def test_df_exceeding_corpus_clamped(self) -> None:
+        """A term 'in more documents than the corpus size' (possible only
+        with the assumed-N trick misconfigured) clamps to IDF 0, never
+        negative."""
+        assert idf(10, 100) == 0.0
+
+    def test_monotone_decreasing_in_df(self) -> None:
+        values = [idf(10_000, df) for df in (1, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTfIdf:
+    def test_formula(self) -> None:
+        assert tf_idf(0.25, 1000, 10) == pytest.approx(0.25 * math.log(100))
+
+    def test_zero_tf(self) -> None:
+        assert tf_idf(0.0, 1000, 10) == 0.0
+
+
+class TestWeightingScheme:
+    def test_document_weight(self) -> None:
+        w = TfIdfWeighting(corpus_size=1_000_000)
+        assert w.document_weight(0.1, 50) == pytest.approx(
+            0.1 * math.log(1_000_000 / 50)
+        )
+
+    def test_query_weight_is_idf(self) -> None:
+        w = TfIdfWeighting(corpus_size=1_000_000)
+        assert w.query_weight(50) == pytest.approx(math.log(1_000_000 / 50))
+
+    def test_scheme_is_frozen(self) -> None:
+        w = TfIdfWeighting(corpus_size=100)
+        with pytest.raises(AttributeError):
+            w.corpus_size = 5  # type: ignore[misc]
+
+
+@given(
+    st.integers(min_value=2, max_value=10**7),
+    st.integers(min_value=1, max_value=10**6),
+)
+def test_idf_nonnegative(corpus_size: int, df: int) -> None:
+    assert idf(corpus_size, df) >= 0.0
+
+
+@given(st.integers(min_value=1, max_value=10**5))
+def test_ranking_invariant_to_scale_of_n(df: int) -> None:
+    """Section 4's argument: as long as N is shared, its absolute scale
+    shifts all IDFs but preserves order.  Verify order preservation for
+    two dfs (both below N) under two different Ns."""
+    df2 = df * 2 + 1
+    for n in (10**6, 10**9):
+        assert idf(n, df) > idf(n, df2)

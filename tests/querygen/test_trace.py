@@ -1,0 +1,103 @@
+"""Tests for the session-trace workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Qrels, Query, QuerySet
+from repro.exceptions import ConfigurationError, QueryError
+from repro.querygen import SessionTraceGenerator, TraceConfig
+
+
+@pytest.fixture()
+def query_set() -> QuerySet:
+    queries = []
+    for origin in range(5):
+        queries.append(Query(f"q{origin}", (f"t{origin}", "common")))
+        for i in range(3):
+            queries.append(
+                Query(f"q{origin}.{i}", (f"t{origin}", f"n{i}"), origin_id=f"q{origin}")
+            )
+    return QuerySet(queries, Qrels())
+
+
+class TestGeneration:
+    def test_stream_nonempty(self, query_set) -> None:
+        stream = SessionTraceGenerator(query_set, TraceConfig(seed=1)).generate()
+        assert len(stream) >= TraceConfig().num_sessions
+
+    def test_queries_come_from_the_set(self, query_set) -> None:
+        known = {q.query_id for q in query_set}
+        stream = SessionTraceGenerator(query_set, TraceConfig(seed=2)).generate()
+        assert all(q.query_id in known for q in stream)
+
+    def test_deterministic(self, query_set) -> None:
+        cfg = TraceConfig(seed=33)
+        s1 = SessionTraceGenerator(query_set, cfg).generate()
+        s2 = SessionTraceGenerator(query_set, cfg).generate()
+        assert [q.query_id for q in s1] == [q.query_id for q in s2]
+
+    def test_empty_query_set_rejected(self) -> None:
+        with pytest.raises(QueryError):
+            qs = QuerySet([Query("q", ("a",))], Qrels())
+            qs.queries.clear()
+            SessionTraceGenerator(qs)
+
+
+class TestLocality:
+    def test_repeat_rate_tracks_config(self, query_set) -> None:
+        low = SessionTraceGenerator(
+            query_set, TraceConfig(repeat_probability=0.0, seed=4)
+        )
+        high = SessionTraceGenerator(
+            query_set, TraceConfig(repeat_probability=0.8, seed=4)
+        )
+        low_stats = low.locality_statistics(low.generate())
+        high_stats = high.locality_statistics(high.generate())
+        assert high_stats["repeat_rate"] > low_stats["repeat_rate"] + 0.2
+
+    def test_sessions_mostly_stay_in_family(self, query_set) -> None:
+        gen = SessionTraceGenerator(
+            query_set, TraceConfig(mean_session_length=6, seed=5)
+        )
+        stats = gen.locality_statistics(gen.generate())
+        # Family switches only happen at session boundaries.
+        assert stats["family_switch_rate"] < 0.5
+
+    def test_distinct_fraction_below_one_with_repeats(self, query_set) -> None:
+        gen = SessionTraceGenerator(
+            query_set, TraceConfig(repeat_probability=0.6, num_sessions=100, seed=6)
+        )
+        stats = gen.locality_statistics(gen.generate())
+        assert stats["distinct_fraction"] < 1.0
+
+    def test_empty_stream_statistics(self, query_set) -> None:
+        gen = SessionTraceGenerator(query_set)
+        stats = gen.locality_statistics([])
+        assert stats["repeat_rate"] == 0.0
+
+
+class TestConfigValidation:
+    def test_bounds(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TraceConfig(num_sessions=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(mean_session_length=0)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(repeat_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(family_zipf_slope=-1)
+
+
+class TestAsTrainingWorkload:
+    def test_trace_trains_sprite(self, small_env) -> None:
+        """The trace stream plugs into the standard training pipeline
+        and produces a working system."""
+        from repro.evaluation.experiments import build_trained_sprite
+
+        gen = SessionTraceGenerator(
+            small_env.train, TraceConfig(num_sessions=60, seed=9)
+        )
+        system = build_trained_sprite(small_env, training_queries=gen.generate())
+        ranked = system.search(small_env.test.queries[0], cache=False)
+        assert isinstance(ranked.top_ids(5), list)

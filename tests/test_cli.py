@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_all_commands_registered(self) -> None:
+        parser = build_parser()
+        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate"):
+            args = parser.parse_args(
+                [command, "terms"] if command == "search" else (
+                    [command, "out"] if command == "generate" else [command]
+                )
+            )
+            assert callable(args.handler)
+
+
+class TestInfo:
+    def test_shows_paper_defaults(self) -> None:
+        code, output = run_cli("info")
+        assert code == 0
+        assert "initial_terms = 5" in output
+        assert "queries_per_original = 9" in output
+        assert "overlap_ratio = 0.7" in output
+
+    def test_small_flag_changes_scale(self) -> None:
+        __, big = run_cli("info")
+        __, small = run_cli("info", "--small")
+        assert "num_documents = 2500" in big
+        assert "num_documents = 220" in small
+
+
+class TestHops:
+    def test_hops_table(self) -> None:
+        code, output = run_cli("hops", "--seed", "3")
+        assert code == 0
+        lines = [l for l in output.splitlines() if l.strip()]
+        assert lines[0].split() == ["N", "mean", "hops", "log2(N)"]
+        assert len(lines) == 6  # header + 5 ring sizes
+
+
+class TestSearch:
+    def test_search_known_corpus_term(self) -> None:
+        """Search for a term we know exists: take it from the corpus
+        vocabulary hint produced by a miss first."""
+        code, output = run_cli("search", "--small", "definitely-not-a-term")
+        assert code == 0
+        assert "hint:" in output
+        hint_terms = output.split("hint: the synthetic corpus vocabulary starts:")[1]
+        term = hint_terms.strip().split(",")[0].strip()
+        code, output = run_cli("search", "--small", term)
+        assert code == 0
+        assert "results for" in output or "no results" in output
+
+    def test_empty_after_analysis_errors(self) -> None:
+        code, output = run_cli("search", "--small", "the", "and")
+        assert code == 2
+        assert "empty" in output
+
+
+class TestGenerate:
+    def test_generate_writes_collection(self, tmp_path) -> None:
+        code, output = run_cli("generate", "--small", str(tmp_path / "col"))
+        assert code == 0
+        from repro.corpus import load_collection
+
+        corpus, queries = load_collection(tmp_path / "col")
+        assert len(corpus) == 220
+        assert len(queries) == 12
+
+
+class TestReport:
+    def test_report_from_results_dir(self, tmp_path) -> None:
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4a.txt").write_text("K SPRITE\n5 0.92\n")
+        (results / "churn.txt").write_text("failed avail\n10% 0.95\n")
+        code, output = run_cli("report", "--results", str(results))
+        assert code == 0
+        assert "## fig4a" in output and "## churn" in output
+        assert "0.92" in output
+
+    def test_report_to_file(self, tmp_path) -> None:
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "cost.txt").write_text("strategy msgs\n")
+        target = tmp_path / "report.md"
+        code, output = run_cli(
+            "report", "--results", str(results), "--output", str(target)
+        )
+        assert code == 0
+        assert target.exists()
+        assert "## cost" in target.read_text()
+
+    def test_missing_results_dir(self, tmp_path) -> None:
+        code, output = run_cli("report", "--results", str(tmp_path / "nope"))
+        assert code == 2
+        assert "pytest benchmarks/" in output
+
+    def test_empty_results_dir(self, tmp_path) -> None:
+        empty = tmp_path / "results"
+        empty.mkdir()
+        code, __ = run_cli("report", "--results", str(empty))
+        assert code == 2
+
+
+class TestFigures:
+    def test_fig4a_small(self) -> None:
+        code, output = run_cli("fig4a", "--small")
+        assert code == 0
+        assert "SPRITE P" in output
+        assert "precision ratio vs number of answers" in output
+
+    def test_cost_small(self) -> None:
+        code, output = run_cli("cost", "--small")
+        assert code == 0
+        assert "index-everything" in output

@@ -1,0 +1,115 @@
+"""Tests for configuration validation and derived values."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ALL_CONFIG_TYPES,
+    ChordConfig,
+    ESearchConfig,
+    ExperimentConfig,
+    QueryGenConfig,
+    SpriteConfig,
+    SyntheticCorpusConfig,
+    WorkloadConfig,
+    paper_experiment_config,
+    small_experiment_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaultsMatchPaper:
+    def test_sprite_section_6_2(self) -> None:
+        cfg = SpriteConfig()
+        assert cfg.initial_terms == 5
+        assert cfg.terms_per_iteration == 5
+        assert cfg.learning_iterations == 3
+        assert cfg.max_index_terms == 20
+        assert cfg.top_k_answers == 20
+        assert cfg.total_terms_after_learning == 20
+
+    def test_querygen_section_6_1(self) -> None:
+        cfg = QueryGenConfig()
+        assert cfg.queries_per_original == 9       # k = 9
+        assert cfg.overlap_ratio == 0.7            # O = 70%
+        assert cfg.candidate_pool_size == 5        # S = 5
+        assert cfg.ranked_list_depth == 1000       # E = 1000
+
+    def test_esearch_default_budget(self) -> None:
+        assert ESearchConfig().index_terms == 20
+
+    def test_zipf_slope(self) -> None:
+        assert WorkloadConfig().zipf_slope == 0.5
+
+
+class TestValidation:
+    def test_sprite_max_below_initial(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SpriteConfig(initial_terms=10, max_index_terms=5)
+
+    def test_sprite_zero_cache(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SpriteConfig(query_cache_size=0)
+
+    def test_chord_too_many_peers_for_ring(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ChordConfig(num_peers=10_000, id_bits=8)
+
+    def test_querygen_overlap_bounds(self) -> None:
+        with pytest.raises(ConfigurationError):
+            QueryGenConfig(overlap_ratio=1.5)
+
+    def test_experiment_train_fraction(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(train_fraction=1.0)
+
+    def test_workload_negative_slope(self) -> None:
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(zipf_slope=-0.5)
+
+
+class TestDerived:
+    def test_total_terms_capped(self) -> None:
+        cfg = SpriteConfig(
+            initial_terms=5, terms_per_iteration=10, learning_iterations=5,
+            max_index_terms=20,
+        )
+        assert cfg.total_terms_after_learning == 20
+
+    def test_with_max_terms_schedules_enough_iterations(self) -> None:
+        base = SpriteConfig()
+        for target in (5, 10, 15, 20, 25, 30):
+            derived = base.with_max_terms(target)
+            assert derived.max_index_terms == target
+            assert derived.total_terms_after_learning == target
+
+    def test_with_max_terms_five_means_no_learning(self) -> None:
+        derived = SpriteConfig().with_max_terms(5)
+        assert derived.learning_iterations == 0
+
+
+class TestFactories:
+    def test_all_configs_frozen(self) -> None:
+        for config_type in ALL_CONFIG_TYPES:
+            assert dataclasses.fields(config_type)  # is a dataclass
+            instance = config_type()
+            first_field = dataclasses.fields(config_type)[0].name
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                setattr(instance, first_field, None)
+
+    def test_small_config_valid_and_fast_sized(self) -> None:
+        cfg = small_experiment_config()
+        assert cfg.corpus.num_documents <= 500
+
+    def test_paper_config_scale(self) -> None:
+        cfg = paper_experiment_config()
+        assert cfg.corpus.num_original_queries == 63
+        assert cfg.querygen.queries_per_original == 9
+
+    def test_seed_threading(self) -> None:
+        a = small_experiment_config(seed=1)
+        b = small_experiment_config(seed=2)
+        assert a.corpus.seed != b.corpus.seed

@@ -1,0 +1,41 @@
+"""Execute the doctest examples embedded in module docstrings.
+
+The public API's docstrings carry usage examples; running them keeps the
+documentation honest as the code evolves.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.scoring
+import repro.ir.weighting
+import repro.text.analyzer
+import repro.text.stemmer
+import repro.text.stopwords
+import repro.text.tokenizer
+
+MODULES = [
+    repro.core.scoring,
+    repro.ir.weighting,
+    repro.text.analyzer,
+    repro.text.stemmer,
+    repro.text.stopwords,
+    repro.text.tokenizer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_at_least_some_examples_exist() -> None:
+    """Guard against the doctests silently disappearing."""
+    total = sum(
+        doctest.testmod(module, verbose=False).attempted for module in MODULES
+    )
+    assert total >= 8

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConfigurationError,
+    CorpusError,
+    DHTError,
+    DocumentNotFoundError,
+    EmptyRingError,
+    LearningError,
+    NodeFailedError,
+    NodeNotFoundError,
+    QueryError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            CorpusError,
+            DHTError,
+            DocumentNotFoundError,
+            EmptyRingError,
+            LearningError,
+            NodeFailedError,
+            NodeNotFoundError,
+            QueryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type) -> None:
+        assert issubclass(exc_type, ReproError)
+
+    def test_dht_family(self) -> None:
+        assert issubclass(NodeFailedError, DHTError)
+        assert issubclass(NodeNotFoundError, DHTError)
+        assert issubclass(EmptyRingError, DHTError)
+
+    def test_corpus_family(self) -> None:
+        assert issubclass(DocumentNotFoundError, CorpusError)
+
+    def test_payload_attributes(self) -> None:
+        assert DocumentNotFoundError("d9").doc_id == "d9"
+        assert NodeFailedError(42).node_id == 42
+        assert NodeNotFoundError(7).node_id == 7
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self) -> None:
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_version(self) -> None:
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points(self) -> None:
+        assert callable(repro.build_environment)
+        assert callable(repro.build_trained_sprite)
+        assert callable(repro.run_fig4a)

@@ -1,0 +1,86 @@
+"""Tests for the end-to-end analysis pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.analyzer import DEFAULT_ANALYZER, Analyzer
+from repro.text.stopwords import LUCENE_STOP_WORDS
+from repro.text.tokenizer import Tokenizer
+
+
+class TestPipeline:
+    def test_stopwords_then_stemming(self) -> None:
+        assert Analyzer().analyze("The retrieving peers are retrieving") == [
+            "retriev", "peer", "retriev",
+        ]
+
+    def test_order_and_multiplicity_preserved(self) -> None:
+        out = Analyzer().analyze("index index tuning index")
+        assert out == ["index", "index", "tune", "index"]
+
+    def test_empty_input(self) -> None:
+        assert Analyzer().analyze("") == []
+
+    def test_all_stopwords(self) -> None:
+        assert Analyzer().analyze("the and of to") == []
+
+    def test_stemming_can_be_disabled(self) -> None:
+        a = Analyzer(enable_stemming=False)
+        assert a.analyze("running dogs") == ["running", "dogs"]
+
+    def test_custom_stop_words(self) -> None:
+        a = Analyzer(stop_words=frozenset({"chord"}))
+        assert a.analyze("chord ring") == ["ring"]
+
+    def test_custom_tokenizer(self) -> None:
+        a = Analyzer(tokenizer=Tokenizer(min_length=5))
+        assert a.analyze("ring routing") == ["rout"]
+
+
+class TestTermFrequencies:
+    def test_counter(self) -> None:
+        freqs = Analyzer().term_frequencies("query query document")
+        assert freqs == Counter({"queri": 2, "document": 1})
+
+    def test_empty(self) -> None:
+        assert Analyzer().term_frequencies("") == Counter()
+
+
+class TestQueryAnalysis:
+    def test_deduplicates(self) -> None:
+        assert Analyzer().analyze_query("chord chord ring") == ["chord", "ring"]
+
+    def test_first_occurrence_order(self) -> None:
+        assert Analyzer().analyze_query("zebra apple zebra") == ["zebra", "appl"]
+
+    def test_merges_inflections(self) -> None:
+        # "index" and "indexes" stem to the same term → deduplicated.
+        assert Analyzer().analyze_query("index indexes") == ["index"]
+
+
+@given(st.text(max_size=300))
+def test_no_stop_words_survive_before_stemming(text: str) -> None:
+    """Stop-word removal precedes stemming (paper Section 6's pipeline
+    order), so the *unstemmed* term stream never contains a stop word.
+    (Stemming itself may legitimately create one — e.g. "ase" → "as" —
+    which is faithful to the Lucene-style pipeline.)"""
+    unstemmed = Analyzer(enable_stemming=False)
+    for term in unstemmed.analyze(text):
+        assert term not in LUCENE_STOP_WORDS
+
+
+@given(st.text(max_size=300))
+def test_analysis_deterministic(text: str) -> None:
+    assert DEFAULT_ANALYZER.analyze(text) == DEFAULT_ANALYZER.analyze(text)
+
+
+@given(st.text(max_size=300))
+def test_query_analysis_is_subset_of_analysis(text: str) -> None:
+    full = DEFAULT_ANALYZER.analyze(text)
+    query = DEFAULT_ANALYZER.analyze_query(text)
+    assert set(query) == set(full)
+    assert len(query) == len(set(query))

@@ -1,0 +1,82 @@
+"""Tests for the tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import DEFAULT_TOKENIZER, Tokenizer, tokenize
+
+
+class TestBasicTokenization:
+    def test_splits_on_punctuation(self) -> None:
+        assert tokenize("peer-to-peer, text; retrieval!") == [
+            "peer", "to", "peer", "text", "retrieval",
+        ]
+
+    def test_lowercases(self) -> None:
+        assert tokenize("Chord DHT Network") == ["chord", "dht", "network"]
+
+    def test_empty_text(self) -> None:
+        assert tokenize("") == []
+
+    def test_whitespace_only(self) -> None:
+        assert tokenize("   \t\n  ") == []
+
+    def test_unicode_punctuation_is_separator(self) -> None:
+        assert tokenize("query…document") == ["query", "document"]
+
+    def test_numbers_dropped_by_default(self) -> None:
+        assert tokenize("chapter 42 section 7b") == ["chapter", "section", "7b"]
+
+    def test_single_letters_dropped_by_default(self) -> None:
+        assert tokenize("a b chord c") == ["chord"]
+
+
+class TestConfiguration:
+    def test_keep_numbers(self) -> None:
+        t = Tokenizer(keep_numbers=True)
+        assert t.tokenize("top 20 answers") == ["top", "20", "answers"]
+
+    def test_min_length(self) -> None:
+        t = Tokenizer(min_length=4)
+        assert t.tokenize("the chord ring") == ["chord", "ring"]
+
+    def test_max_length_drops_blobs(self) -> None:
+        t = Tokenizer(max_length=10)
+        blob = "x" * 50
+        assert t.tokenize(f"short {blob} words") == ["short", "words"]
+
+    def test_invalid_min_length(self) -> None:
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_invalid_max_length(self) -> None:
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=5, max_length=4)
+
+    def test_iter_tokens_is_lazy(self) -> None:
+        iterator = DEFAULT_TOKENIZER.iter_tokens("alpha beta")
+        assert next(iterator) == "alpha"
+        assert next(iterator) == "beta"
+
+
+@given(st.text(max_size=500))
+def test_tokens_are_lowercase_alnum(text: str) -> None:
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@given(st.text(max_size=500))
+def test_token_lengths_within_bounds(text: str) -> None:
+    t = Tokenizer(min_length=2, max_length=40)
+    for token in t.tokenize(text):
+        assert 2 <= len(token) <= 40
+
+
+@given(st.lists(st.sampled_from(["chord", "peer", "index", "query"]), max_size=20))
+def test_space_joined_words_roundtrip(words: list) -> None:
+    """Tokenizing space-joined known-good words returns them verbatim."""
+    assert tokenize(" ".join(words)) == words
