@@ -22,6 +22,7 @@ from .config import (
     ChordConfig,
     ESearchConfig,
     ExperimentConfig,
+    NetworkConfig,
     QueryGenConfig,
     SpriteConfig,
     SyntheticCorpusConfig,
@@ -43,6 +44,12 @@ from .corpus import (
     build_synthetic_collection,
 )
 from .dht import ChordRing, ChurnModel, ReplicationManager
+from .net import (
+    LossyTransport,
+    PerfectTransport,
+    TraceLog,
+    build_transport,
+)
 from .evaluation import (
     build_environment,
     build_esearch,
@@ -70,6 +77,9 @@ __all__ = [
     "ESearchConfig",
     "ESearchSystem",
     "ExperimentConfig",
+    "LossyTransport",
+    "NetworkConfig",
+    "PerfectTransport",
     "Qrels",
     "Query",
     "QueryGenConfig",
@@ -80,11 +90,13 @@ __all__ = [
     "SpriteConfig",
     "SpriteSystem",
     "SyntheticCorpusConfig",
+    "TraceLog",
     "WorkloadConfig",
     "build_environment",
     "build_esearch",
     "build_synthetic_collection",
     "build_trained_sprite",
+    "build_transport",
     "paper_experiment_config",
     "run_cost_comparison",
     "run_fig4a",

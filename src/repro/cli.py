@@ -8,29 +8,38 @@ fig4b       Reproduce Figure 4(b) (effectiveness vs indexed terms).
 fig4c       Reproduce Figure 4(c) (query-pattern change).
 cost        Index-construction cost comparison.
 hops        Chord lookup-hop scaling table.
+net         Transport robustness sweep: lookup success, retries, and
+            latency percentiles under increasing message-drop rates.
 search      Interactive-ish demo: train SPRITE and run ad-hoc keyword
             searches from the command line.
 generate    Synthesize a corpus + query set and save them to a directory
             (reload with repro.corpus.io.load_collection).
 
 All commands accept ``--small`` (test-sized corpus, seconds) and
-``--seed`` (reproducibility).  Results print as the same tables the
-benchmark harness records, plus ASCII charts of the figure shapes.
+``--seed`` (reproducibility), plus the network-model flags
+(``--transport lossy --drop 0.1 --latency-model lognormal ...``) that
+route every simulated message through :mod:`repro.net`.  Results print
+as the same tables the benchmark harness records, plus ASCII charts of
+the figure shapes.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
 
 from .config import (
     ExperimentConfig,
+    LATENCY_MODELS,
+    TRANSPORT_KINDS,
     paper_experiment_config,
     small_experiment_config,
 )
 from .corpus.relevance import Query
+from .exceptions import ConfigurationError
 from .evaluation import (
     build_environment,
     build_trained_sprite,
@@ -46,10 +55,33 @@ from .evaluation import (
 from .evaluation.charts import line_chart, ratio_series_from_rows
 
 
+#: argparse attribute → NetworkConfig field, for flags that map 1:1.
+_NETWORK_FLAG_FIELDS = {
+    "transport": "transport",
+    "drop": "drop_probability",
+    "latency_model": "latency_model",
+    "latency": "latency_ms",
+    "timeout": "timeout_ms",
+    "retries": "max_retries",
+    "net_seed": "seed",
+}
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if args.small:
-        return small_experiment_config(seed=args.seed)
-    return paper_experiment_config(seed=args.seed)
+        config = small_experiment_config(seed=args.seed)
+    else:
+        config = paper_experiment_config(seed=args.seed)
+    overrides = {
+        field: getattr(args, attr)
+        for attr, field in _NETWORK_FLAG_FIELDS.items()
+        if getattr(args, attr, None) is not None
+    }
+    if overrides:
+        config = dataclasses.replace(
+            config, network=dataclasses.replace(config.network, **overrides)
+        )
+    return config
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +91,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=20070415, help="corpus generation seed"
     )
+    net = parser.add_argument_group("network model (repro.net)")
+    net.add_argument(
+        "--transport",
+        choices=TRANSPORT_KINDS,
+        help="transport implementation (default: perfect — instant, lossless)",
+    )
+    net.add_argument(
+        "--drop", type=float, help="per-attempt message drop probability (lossy)"
+    )
+    net.add_argument(
+        "--latency-model",
+        choices=LATENCY_MODELS,
+        help="per-attempt latency distribution (lossy)",
+    )
+    net.add_argument(
+        "--latency",
+        type=float,
+        help="latency in simulated ms (constant value / lognormal median)",
+    )
+    net.add_argument(
+        "--timeout", type=float, help="per-attempt delivery timeout, simulated ms"
+    )
+    net.add_argument("--retries", type=int, help="max retransmissions per message")
+    net.add_argument("--net-seed", type=int, help="transport RNG seed (fault replay)")
 
 
 def _build_env(args: argparse.Namespace, out) -> object:
@@ -76,7 +132,15 @@ def _build_env(args: argparse.Namespace, out) -> object:
 def cmd_info(args: argparse.Namespace, out) -> int:
     config = _config_from_args(args)
     out.write("experiment configuration:\n")
-    for section in ("corpus", "querygen", "sprite", "esearch", "chord", "workload"):
+    for section in (
+        "corpus",
+        "querygen",
+        "sprite",
+        "esearch",
+        "chord",
+        "workload",
+        "network",
+    ):
         out.write(f"  [{section}]\n")
         for field_name, value in vars(getattr(config, section)).items():
             out.write(f"    {field_name} = {value}\n")
@@ -133,6 +197,58 @@ def cmd_hops(args: argparse.Namespace, out) -> int:
         ]
         out.write(
             f"{n:>4}    {sum(hops) / len(hops):>8.2f}    {math.log2(n):>6.2f}\n"
+        )
+    return 0
+
+
+def cmd_net(args: argparse.Namespace, out) -> int:
+    """Sweep message-drop rates over a bare ring: for each rate, run a
+    batch of random lookups through a fresh seeded lossy transport and
+    report success counts, retry totals, and latency percentiles — the
+    robustness curve of the routing layer itself (no corpus needed)."""
+    import random as _random
+
+    from .dht import ChordRing
+    from .exceptions import NodeFailedError
+    from .net import build_transport
+
+    config = _config_from_args(args)
+    try:
+        rates = [float(r) for r in args.sweep.split(",") if r.strip()]
+    except ValueError:
+        out.write(f"error: bad --sweep value {args.sweep!r}\n")
+        return 2
+    if not rates:
+        out.write("error: --sweep names no drop rates\n")
+        return 2
+
+    out.write(
+        f"{config.chord.num_peers} peers, {args.lookups} lookups per rate, "
+        f"latency={config.network.latency_model}, "
+        f"timeout={config.network.timeout_ms:.0f}ms, "
+        f"retries={config.network.max_retries}\n"
+    )
+    out.write("drop        ok    failed    retries    p50_ms    p99_ms\n")
+    for rate in rates:
+        net_cfg = dataclasses.replace(
+            config.network, transport="lossy", drop_probability=rate
+        )
+        transport = build_transport(net_cfg)
+        ring = ChordRing(config.chord, transport=transport)
+        rng = _random.Random(args.seed)
+        ok = failed = 0
+        for __ in range(args.lookups):
+            start = ring.random_live_id(rng)
+            key = rng.randrange(ring.space.size)
+            try:
+                ring.lookup(start, key, record=False)
+                ok += 1
+            except NodeFailedError:
+                failed += 1
+        s = transport.trace.rollup()
+        out.write(
+            f"{rate:>4.2f}  {ok:>8}  {failed:>8}  {s.retries:>9}"
+            f"  {s.latency_p50_ms:>8.1f}  {s.latency_p99_ms:>8.1f}\n"
         )
     return 0
 
@@ -219,6 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common(p)
         p.set_defaults(handler=handler)
 
+    p = sub.add_parser(
+        "net", help="transport robustness sweep over message-drop rates"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--sweep",
+        default="0.0,0.05,0.1,0.2",
+        help="comma-separated drop rates to sweep",
+    )
+    p.add_argument(
+        "--lookups", type=int, default=500, help="lookups per drop rate"
+    )
+    p.set_defaults(handler=cmd_net)
+
     p = sub.add_parser("search", help="train SPRITE and run one keyword search")
     _add_common(p)
     p.add_argument("terms", nargs="+", help="query keywords")
@@ -246,7 +376,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args, out)
+    try:
+        return args.handler(args, out)
+    except ConfigurationError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

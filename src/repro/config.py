@@ -192,6 +192,70 @@ class ChordConfig:
         )
 
 
+#: Transports :class:`NetworkConfig` may name.
+TRANSPORT_KINDS: Tuple[str, ...] = ("perfect", "lossy")
+#: Latency models :class:`NetworkConfig` may name.
+LATENCY_MODELS: Tuple[str, ...] = ("constant", "uniform", "lognormal")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Transport-layer parameters (see :mod:`repro.net`).
+
+    ``transport="perfect"`` (default) is the idealized instant network
+    the reproduction originally assumed — zero latency, zero loss,
+    results bit-identical to the pre-transport simulator.
+    ``transport="lossy"`` composes a latency model with fault injection
+    and timeout/retry delivery semantics.  All times are simulated
+    milliseconds on the transport's :class:`~repro.net.clock.SimulatedClock`.
+
+    ``latency_ms`` is the constant model's value and the log-normal
+    model's *median*; the uniform model uses the low/high bounds.  The
+    ``seed`` drives the transport's private RNG, so a fault-injection
+    run replays byte-identically.
+    """
+
+    transport: str = "perfect"
+    latency_model: str = "constant"
+    latency_ms: float = 60.0
+    latency_low_ms: float = 20.0
+    latency_high_ms: float = 120.0
+    latency_sigma: float = 0.55
+    drop_probability: float = 0.0
+    timeout_ms: float = 400.0
+    max_retries: int = 3
+    backoff_base_ms: float = 100.0
+    backoff_factor: float = 2.0
+    jitter_ms: float = 20.0
+    keep_trace: bool = True
+    seed: int = 93187
+
+    def __post_init__(self) -> None:
+        _require(self.transport in TRANSPORT_KINDS, f"transport must be one of {TRANSPORT_KINDS}")
+        _require(
+            self.latency_model in LATENCY_MODELS,
+            f"latency_model must be one of {LATENCY_MODELS}",
+        )
+        if self.latency_model == "lognormal":
+            _require(self.latency_ms > 0, "lognormal latency_ms (median) must be > 0")
+        else:
+            _require(self.latency_ms >= 0, "latency_ms must be >= 0")
+        _require(self.latency_low_ms >= 0, "latency_low_ms must be >= 0")
+        _require(
+            self.latency_high_ms >= self.latency_low_ms,
+            "latency_high_ms must be >= latency_low_ms",
+        )
+        _require(self.latency_sigma >= 0, "latency_sigma must be >= 0")
+        _require(
+            0.0 <= self.drop_probability <= 1.0, "drop_probability must be in [0, 1]"
+        )
+        _require(self.timeout_ms > 0, "timeout_ms must be > 0")
+        _require(self.max_retries >= 0, "max_retries must be >= 0")
+        _require(self.backoff_base_ms >= 0, "backoff_base_ms must be >= 0")
+        _require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        _require(self.jitter_ms >= 0, "jitter_ms must be >= 0")
+
+
 @dataclass(frozen=True)
 class WorkloadConfig:
     """Query-stream shaping (paper Figure 4(b) streams)."""
@@ -215,6 +279,7 @@ class ExperimentConfig:
     esearch: ESearchConfig = field(default_factory=ESearchConfig)
     chord: ChordConfig = field(default_factory=ChordConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
     train_fraction: float = 0.5
     split_seed: int = 5415
 
@@ -258,6 +323,7 @@ ALL_CONFIG_TYPES: Tuple[type, ...] = (
     SpriteConfig,
     ESearchConfig,
     ChordConfig,
+    NetworkConfig,
     WorkloadConfig,
     ExperimentConfig,
 )

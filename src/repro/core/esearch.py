@@ -33,6 +33,7 @@ class ESearchSystem(DistributedSystem):
         esearch_config: ESearchConfig | None = None,
         chord_config: ChordConfig | None = None,
         ring: ChordRing | None = None,
+        transport=None,
     ) -> None:
         self.esearch_config = (
             esearch_config if esearch_config is not None else ESearchConfig()
@@ -49,7 +50,11 @@ class ESearchSystem(DistributedSystem):
             top_k_answers=self.esearch_config.top_k_answers,
         )
         super().__init__(
-            corpus, sprite_config=base, chord_config=chord_config, ring=ring
+            corpus,
+            sprite_config=base,
+            chord_config=chord_config,
+            ring=ring,
+            transport=transport,
         )
 
     def _first_terms(self, doc_id: str) -> Optional[List[str]]:

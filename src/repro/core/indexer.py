@@ -6,10 +6,16 @@ registering issued queries into the per-term caches, fetching inverted
 lists during search, and the learning poll with the closest-hash
 deduplication rule of Section 3.
 
-All operations route through the Chord ring (lookup + message send), so
+All operations route through the Chord ring (lookup + message send) and
+therefore through the ring's pluggable :class:`~repro.net.Transport`, so
 the network statistics the ring accumulates reflect the true protocol
-cost.  Slot state lives in ``node.store[term_hash]`` so DHT key
-migration and successor replication move it transparently.
+cost and, under a lossy transport, every operation is subject to
+latency, loss, and retry semantics — a dropped delivery surfaces as
+:class:`~repro.exceptions.MessageDroppedError` (a
+:class:`~repro.exceptions.NodeFailedError` subclass, so the Section 7
+degradation paths apply unchanged).  Slot state lives in
+``node.store[term_hash]`` so DHT key migration and successor
+replication move it transparently.
 """
 
 from __future__ import annotations

@@ -11,7 +11,8 @@ computes similarities locally:
 * similarity            Lee et al. second method,
   ``sim(Q, D) = Σ w_Q·w_D / sqrt(|D|)``.
 
-Terms whose indexing peer is down are dropped from the computation
+Terms whose indexing peer is down — or whose messages a lossy transport
+fails to deliver after retries — are dropped from the computation
 (Section 7's first failure-handling option).  Every query executed with
 ``cache=True`` is also registered into the per-term query caches — the
 side channel SPRITE's learning feeds on.
@@ -32,13 +33,19 @@ from .indexer import IndexingProtocol
 
 @dataclass
 class QueryExecution:
-    """Diagnostics for one executed query (used by benches and tests)."""
+    """Diagnostics for one executed query (used by benches and tests).
+
+    ``latency_ms`` is the simulated network time the query consumed —
+    the transport clock's advance across all lookups, term fetches, and
+    posting replies.  It stays 0.0 under the default perfect transport.
+    """
 
     query_id: str
     terms_visited: int = 0
     terms_failed: int = 0
     postings_retrieved: int = 0
     candidate_documents: int = 0
+    latency_ms: float = 0.0
     dropped_terms: List[str] = field(default_factory=list)
 
 
@@ -75,6 +82,8 @@ class QueryProcessor:
         real system where the search request itself populates the cache.
         """
         execution = QueryExecution(query_id=query.query_id)
+        clock = self.protocol.ring.transport.clock
+        started_ms = clock.now
         if cache:
             self.protocol.register_query(issuer_id, query.terms)
 
@@ -108,6 +117,7 @@ class QueryProcessor:
             for doc_id, weights in doc_weights.items()
         }
         execution.candidate_documents = len(scores)
+        execution.latency_ms = clock.now - started_ms
         ranked = RankedList(scores)
         if top_k is not None:
             ranked = ranked.truncate(top_k)

@@ -38,6 +38,10 @@ class DistributedSystem:
     ring:
         Optionally share a pre-built ring (e.g. for churn experiments
         that prepare the overlay separately).
+    transport:
+        Optional :class:`~repro.net.Transport` for the ring this system
+        builds (ignored when an existing *ring* is supplied — the ring
+        keeps its own transport).  Defaults to the perfect transport.
     """
 
     def __init__(
@@ -47,13 +51,16 @@ class DistributedSystem:
         chord_config: ChordConfig | None = None,
         ring: ChordRing | None = None,
         scorer=None,
+        transport=None,
     ) -> None:
         from .scoring import combined_score
 
         self.corpus = corpus
         self.config = sprite_config if sprite_config is not None else SpriteConfig()
         self.scorer = scorer if scorer is not None else combined_score
-        self.ring = ring if ring is not None else ChordRing(chord_config)
+        self.ring = (
+            ring if ring is not None else ChordRing(chord_config, transport=transport)
+        )
         self.protocol = IndexingProtocol(
             self.ring, query_cache_size=self.config.query_cache_size
         )

@@ -1,9 +1,12 @@
 """The Chord ring simulator.
 
 Implements the protocol of Stoica et al. as a discrete simulation: the
-ring holds every :class:`~repro.dht.node.ChordNode`, delivers messages,
-and rebuilds routing state on membership change (the effect of Chord's
-``stabilize`` + ``fix_fingers`` having converged).  Lookups are executed
+ring holds every :class:`~repro.dht.node.ChordNode`, delivers messages
+through a pluggable :class:`~repro.net.Transport` (instant and perfect
+by default; latency/loss/retry semantics with
+:class:`~repro.net.LossyTransport`), and rebuilds routing state on
+membership change (the effect of Chord's ``stabilize`` +
+``fix_fingers`` having converged).  Lookups are executed
 *iteratively using only per-node finger tables*, so the hop counts the
 simulator reports are genuine protocol measurements, not ``log N``
 formulas.
@@ -27,9 +30,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..config import ChordConfig
-from ..exceptions import DHTError, EmptyRingError, NodeFailedError, NodeNotFoundError
+from ..exceptions import (
+    DHTError,
+    EmptyRingError,
+    MessageDroppedError,
+    NodeFailedError,
+    NodeNotFoundError,
+)
+from ..net import DeliveryOutcome, PerfectTransport, Transport
 from .hashing import IdSpace, md5_hash
-from .messages import Message
+from .messages import ADDRESS_BYTES, Message, MessageKind, QUERY_HEADER_BYTES
 from .node import ChordNode
 from .stats import NetworkStats
 
@@ -54,16 +64,27 @@ class ChordRing:
         Optional explicit node identifiers (for white-box tests);
         normally ids are derived by hashing peer names, as the Chord
         paper hashes IP addresses.
+    transport:
+        The :class:`~repro.net.Transport` every message and lookup hop
+        flows through.  Defaults to the instant, lossless
+        :class:`~repro.net.PerfectTransport` (identical behaviour to the
+        pre-transport simulator).  The transport owns its own seeded
+        RNG, separate from the ring's membership RNG, so fault injection
+        and id generation stay independently reproducible.
     """
 
     def __init__(
         self,
         config: ChordConfig | None = None,
         node_ids: Optional[List[int]] = None,
+        transport: Transport | None = None,
     ) -> None:
         self.config = config if config is not None else ChordConfig()
         self.space = IdSpace(self.config.id_bits)
         self.stats = NetworkStats()
+        self.transport: Transport = (
+            transport if transport is not None else PerfectTransport()
+        )
         self.nodes: Dict[int, ChordNode] = {}
         self._live_sorted: List[int] = []
         self._rng = random.Random(self.config.seed)
@@ -174,6 +195,27 @@ class ChordRing:
 
     # -- lookups (finger-table routing, authentic hop counts) ----------------
 
+    def _deliver_hop(self, src_id: int, dst_id: int) -> None:
+        """Route one lookup hop through the transport.
+
+        Only called when the transport is *active* (lossy, or tracing):
+        the default perfect transport could neither delay, drop, nor
+        observe the hop, so the hot loop skips the Message construction.
+        """
+        receipt = self.transport.deliver(
+            Message(
+                kind=MessageKind.LOOKUP,
+                src=src_id,
+                dst=dst_id,
+                size_bytes=ADDRESS_BYTES + QUERY_HEADER_BYTES,
+            ),
+            dst_alive=self.is_live(dst_id),
+        )
+        if receipt.outcome is DeliveryOutcome.DEST_DOWN:
+            raise NodeFailedError(dst_id)
+        if not receipt.ok:
+            raise MessageDroppedError(dst_id, receipt.attempts)
+
     def lookup(self, start_id: int, key: int, record: bool = True) -> LookupResult:
         """Iteratively resolve the node responsible for *key*, starting
         from *start_id*, using only finger tables and successor lists.
@@ -181,6 +223,9 @@ class ChordRing:
         Raises :class:`NodeFailedError` if routing terminates at a node
         that has crashed but whose failure has not yet been repaired by
         :meth:`stabilize` — the window the paper's Section 7 discusses.
+        With a lossy transport, a routing hop whose delivery exhausts its
+        retries raises :class:`MessageDroppedError` instead (a subclass,
+        so callers degrade the same way).
         """
         if not self._live_sorted:
             raise EmptyRingError("no live nodes")
@@ -192,6 +237,7 @@ class ChordRing:
         hops = 0
         path = [current.node_id]
         max_steps = 2 * self.space.bits + len(self._live_sorted)
+        hop_transport = self.transport.active
 
         while True:
             if current.owns(key):
@@ -206,6 +252,8 @@ class ChordRing:
             if self.space.in_interval(key, current.node_id, raw_successor):
                 if not self.is_live(raw_successor):
                     raise NodeFailedError(raw_successor)
+                if hop_transport:
+                    self._deliver_hop(current.node_id, raw_successor)
                 hops += 1
                 path.append(raw_successor)
                 result = LookupResult(raw_successor, hops, tuple(path))
@@ -216,6 +264,8 @@ class ChordRing:
                 if live_succ is None or live_succ == current.node_id:
                     raise NodeFailedError(raw_successor)
                 nxt = live_succ
+            if hop_transport:
+                self._deliver_hop(current.node_id, nxt)
             hops += 1
             if hops > max_steps:
                 raise DHTError(f"lookup did not converge for key {key}")
@@ -231,15 +281,23 @@ class ChordRing:
         return self.lookup(start_id, self.space.hash_key(term), record=record)
 
     def send(self, message: Message) -> None:
-        """Deliver an application message and account for it.
+        """Deliver an application message through the transport and
+        account for it.
 
-        Raises :class:`NodeFailedError` when the destination crashed.
+        Raises :class:`NodeFailedError` when the destination crashed and
+        :class:`MessageDroppedError` when a lossy transport exhausts its
+        retries.  Byte/hop accounting (:class:`NetworkStats`) records the
+        message once on success, exactly as before; wire-level attempt
+        and timing detail lives in the transport's trace log.
         """
         dst = self.nodes.get(message.dst)
         if dst is None:
             raise NodeNotFoundError(message.dst)
-        if not dst.alive:
+        receipt = self.transport.deliver(message, dst_alive=dst.alive)
+        if receipt.outcome is DeliveryOutcome.DEST_DOWN:
             raise NodeFailedError(message.dst)
+        if not receipt.ok:
+            raise MessageDroppedError(message.dst, receipt.attempts)
         self.stats.record(message)
 
     # -- membership changes -------------------------------------------------

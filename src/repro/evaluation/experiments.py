@@ -24,6 +24,7 @@ from ..core.esearch import ESearchSystem
 from ..core.system import SpriteSystem
 from ..corpus.relevance import Query
 from ..dht.messages import MessageKind
+from ..net import build_transport
 from ..ir.ranking import RankedList
 from .experiment import Environment
 from .metrics import RelativeResult, relative_to_centralized
@@ -42,10 +43,15 @@ def build_trained_sprite(
 ) -> SpriteSystem:
     """The paper's Section 6.2 pipeline: share documents with the
     initial terms, insert the training queries, run the configured
-    learning iterations."""
+    learning iterations.  The system's ring runs over the transport the
+    environment's :class:`~repro.config.NetworkConfig` describes (the
+    perfect transport by default)."""
     cfg = sprite_config if sprite_config is not None else env.config.sprite
     system = SpriteSystem(
-        env.corpus, sprite_config=cfg, chord_config=env.config.chord
+        env.corpus,
+        sprite_config=cfg,
+        chord_config=env.config.chord,
+        transport=build_transport(env.config.network),
     )
     system.share_corpus()
     queries = (
@@ -66,7 +72,12 @@ def build_esearch(
         assumed_corpus_size=base.assumed_corpus_size,
         top_k_answers=base.top_k_answers,
     )
-    system = ESearchSystem(env.corpus, esearch_config=cfg, chord_config=env.config.chord)
+    system = ESearchSystem(
+        env.corpus,
+        esearch_config=cfg,
+        chord_config=env.config.chord,
+        transport=build_transport(env.config.network),
+    )
     system.share_corpus()
     return system
 

@@ -67,6 +67,23 @@ class NodeFailedError(DHTError):
         self.node_id = node_id
 
 
+class MessageDroppedError(NodeFailedError):
+    """The transport exhausted its retries without delivering a message.
+
+    Subclasses :class:`NodeFailedError` deliberately: from the sender's
+    perspective an unreachable peer and a crashed peer are the same event
+    (drop the term, skip the probe, retry next round), so every existing
+    degradation path handles transport loss without modification.
+    """
+
+    def __init__(self, node_id: int, attempts: int = 1) -> None:
+        DHTError.__init__(
+            self, f"message to node {node_id} dropped after {attempts} attempt(s)"
+        )
+        self.node_id = node_id
+        self.attempts = attempts
+
+
 class LearningError(ReproError):
     """An inconsistency inside the index-tuning machinery, e.g. polling
     for terms that were never published."""

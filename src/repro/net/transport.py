@@ -1,0 +1,290 @@
+"""The pluggable transport layer.
+
+Every message and every lookup hop in the simulator flows through a
+:class:`Transport`.  Two implementations:
+
+* :class:`PerfectTransport` — the idealized network the reproduction
+  originally assumed: every delivery succeeds instantly on the first
+  attempt.  It consumes no randomness and advances no time, so a ring
+  built with it behaves *identically* to the pre-transport simulator.
+* :class:`LossyTransport` — composes a latency model
+  (:mod:`repro.net.latency`), a fault injector (:mod:`repro.net.faults`)
+  and a :class:`DeliveryPolicy` (timeout, bounded retries, exponential
+  backoff with jitter) into realistic delivery semantics, charging all
+  elapsed time to a shared :class:`~repro.net.clock.SimulatedClock`.
+
+Time accounting per message: each failed attempt costs the full timeout
+(the sender waits before concluding loss) plus the backoff before the
+next attempt; a successful attempt costs its sampled latency.  The sum
+is the message's end-to-end latency and is what query-latency reports
+aggregate.
+
+The transport deliberately does **not** touch the ring's
+:class:`~repro.dht.stats.NetworkStats` — byte/hop accounting stays where
+it always lived (the ring), while the transport owns timing, outcome,
+and attempt accounting via its :class:`~repro.net.trace.TraceLog`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from .clock import SimulatedClock
+from .faults import FaultInjector
+from .latency import ConstantLatency, LatencyModel, LogNormalLatency, UniformLatency
+from .trace import DELIVERED, DEST_DOWN, DROPPED, MessageTrace, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..config import NetworkConfig
+    from ..dht.messages import Message
+
+
+class DeliveryOutcome(Enum):
+    """Terminal fate of one message after all retries."""
+
+    DELIVERED = DELIVERED
+    DROPPED = DROPPED
+    DEST_DOWN = DEST_DOWN
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """What the transport reports back for one message."""
+
+    outcome: DeliveryOutcome
+    attempts: int
+    latency_ms: float
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is DeliveryOutcome.DELIVERED
+
+
+@dataclass(frozen=True)
+class DeliveryPolicy:
+    """Retry/timeout semantics applied to every message.
+
+    ``max_retries`` counts *re*-transmissions: a message is attempted at
+    most ``1 + max_retries`` times.  Backoff before retry *i* (1-based)
+    is ``backoff_base_ms × backoff_factor^(i-1)`` plus a uniform jitter
+    in ``[0, jitter_ms]``.
+    """
+
+    timeout_ms: float = 400.0
+    max_retries: int = 3
+    backoff_base_ms: float = 100.0
+    backoff_factor: float = 2.0
+    jitter_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter_ms must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff_before(self, attempt: int, rng: random.Random) -> float:
+        """Wait before transmission *attempt* (0-based; 0 → no wait)."""
+        if attempt <= 0:
+            return 0.0
+        backoff = self.backoff_base_ms * (self.backoff_factor ** (attempt - 1))
+        if self.jitter_ms > 0:
+            backoff += rng.uniform(0.0, self.jitter_ms)
+        return backoff
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The seam every inter-peer delivery flows through."""
+
+    clock: SimulatedClock
+    trace: Optional[TraceLog]
+
+    #: Whether per-hop lookup deliveries must be routed through
+    #: :meth:`deliver`.  ``False`` lets the hot lookup loop skip building
+    #: a Message per hop when the transport could neither delay, drop,
+    #: nor trace it.
+    active: bool
+
+    def deliver(self, message: "Message", dst_alive: bool = True) -> DeliveryReceipt:
+        """Attempt to deliver *message*; never raises — the receipt
+        carries the outcome and the caller decides how to surface it."""
+        ...
+
+
+class PerfectTransport:
+    """Instant, lossless delivery — the pre-transport simulator's network.
+
+    Consumes no randomness and advances the clock by zero, so results
+    (hop counts, statistics, exceptions) are bit-identical to a ring
+    without any transport.  A :class:`TraceLog` may still be attached to
+    observe message flow.
+    """
+
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
+        self.clock = SimulatedClock()
+        self.trace = trace
+
+    @property
+    def active(self) -> bool:
+        return self.trace is not None
+
+    def deliver(self, message: "Message", dst_alive: bool = True) -> DeliveryReceipt:
+        outcome = DeliveryOutcome.DELIVERED if dst_alive else DeliveryOutcome.DEST_DOWN
+        if self.trace is not None:
+            self.trace.record(
+                MessageTrace(
+                    kind=message.kind.value,
+                    src=message.src,
+                    dst=message.dst,
+                    attempts=1,
+                    latency_ms=0.0,
+                    outcome=outcome.value,
+                )
+            )
+        return DeliveryReceipt(outcome=outcome, attempts=1, latency_ms=0.0)
+
+
+class LossyTransport:
+    """Latency, loss, and recovery semantics for every delivery.
+
+    Parameters
+    ----------
+    latency:
+        Per-attempt transmission-delay sampler.
+    faults:
+        Drop/blackout/slow-node plan (defaults to a fault-free injector,
+        which still yields latency and timeout behaviour).
+    policy:
+        Timeout/retry/backoff semantics.
+    rng:
+        The transport's private ``random.Random``.  Passing a seeded
+        instance (or using ``seed=``) makes the whole fault/latency
+        history of a run reproducible.
+    """
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        faults: FaultInjector | None = None,
+        policy: DeliveryPolicy | None = None,
+        rng: random.Random | None = None,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.faults = faults if faults is not None else FaultInjector()
+        self.policy = policy if policy is not None else DeliveryPolicy()
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.trace = trace if trace is not None else TraceLog()
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    active = True
+
+    def deliver(self, message: "Message", dst_alive: bool = True) -> DeliveryReceipt:
+        policy = self.policy
+        elapsed = 0.0
+        attempts = 0
+        outcome = DeliveryOutcome.DROPPED
+
+        for attempt in range(policy.max_attempts):
+            attempts += 1
+            elapsed += policy.backoff_before(attempt, self.rng)
+            now = self.clock.now + elapsed
+
+            if not dst_alive:
+                # The sender cannot distinguish a crashed peer from loss:
+                # it burns the timeout on every attempt before giving up.
+                elapsed += policy.timeout_ms
+                outcome = DeliveryOutcome.DEST_DOWN
+                continue
+            if self.faults.in_blackout(message.src, now) or self.faults.in_blackout(
+                message.dst, now
+            ):
+                elapsed += policy.timeout_ms
+                outcome = DeliveryOutcome.DROPPED
+                continue
+            if self.faults.should_drop(self.rng):
+                elapsed += policy.timeout_ms
+                outcome = DeliveryOutcome.DROPPED
+                continue
+
+            latency = self.latency.sample(self.rng) * self.faults.latency_factor(
+                message.src, message.dst
+            )
+            if latency > policy.timeout_ms:
+                # A too-slow attempt is indistinguishable from loss.
+                elapsed += policy.timeout_ms
+                outcome = DeliveryOutcome.DROPPED
+                continue
+
+            elapsed += latency
+            outcome = DeliveryOutcome.DELIVERED
+            break
+
+        self.clock.advance(elapsed)
+        if self.trace is not None:
+            self.trace.record(
+                MessageTrace(
+                    kind=message.kind.value,
+                    src=message.src,
+                    dst=message.dst,
+                    attempts=attempts,
+                    latency_ms=elapsed,
+                    outcome=outcome.value,
+                )
+            )
+        return DeliveryReceipt(outcome=outcome, attempts=attempts, latency_ms=elapsed)
+
+
+def build_latency_model(config: "NetworkConfig") -> LatencyModel:
+    """Instantiate the latency model a :class:`NetworkConfig` names."""
+    if config.latency_model == "constant":
+        return ConstantLatency(ms=config.latency_ms)
+    if config.latency_model == "uniform":
+        return UniformLatency(low_ms=config.latency_low_ms, high_ms=config.latency_high_ms)
+    if config.latency_model == "lognormal":
+        return LogNormalLatency(median_ms=config.latency_ms, sigma=config.latency_sigma)
+    raise ValueError(f"unknown latency model: {config.latency_model!r}")
+
+
+def build_transport(config: Optional["NetworkConfig"] = None) -> Transport:
+    """Build the transport a :class:`~repro.config.NetworkConfig` describes.
+
+    ``None`` or a config with ``transport="perfect"`` yields the no-op
+    :class:`PerfectTransport`; ``"lossy"`` composes latency model, fault
+    injector, and delivery policy, seeded from ``config.seed`` so runs
+    replay byte-identically.
+    """
+    if config is None or config.transport == "perfect":
+        return PerfectTransport()
+    if config.transport != "lossy":
+        raise ValueError(f"unknown transport: {config.transport!r}")
+    transport = LossyTransport(
+        latency=build_latency_model(config),
+        faults=FaultInjector(drop_probability=config.drop_probability),
+        policy=DeliveryPolicy(
+            timeout_ms=config.timeout_ms,
+            max_retries=config.max_retries,
+            backoff_base_ms=config.backoff_base_ms,
+            backoff_factor=config.backoff_factor,
+            jitter_ms=config.jitter_ms,
+        ),
+        rng=random.Random(config.seed),
+    )
+    if not config.keep_trace:
+        transport.trace = None
+    return transport

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.dht.messages import (
+    ADDRESS_BYTES,
     ALL_KINDS,
     Message,
     MessageKind,
@@ -61,3 +62,38 @@ class TestFactories:
         none = query_batch_message(1, 2, 0, 0.0)
         some = query_batch_message(1, 2, 10, 4.0)
         assert some.size_bytes > none.size_bytes
+
+    def test_query_batch_exact_size(self) -> None:
+        msg = query_batch_message(1, 2, num_queries=3, terms_per_query=2.0)
+        expected = QUERY_HEADER_BYTES + 3 * (QUERY_HEADER_BYTES + 2 * TERM_BYTES)
+        assert msg.size_bytes == expected
+
+
+class TestSizeConstants:
+    """The abstract cost-model units DESIGN.md states; cost benches cite
+    these numbers, so a change here must be deliberate and documented."""
+
+    def test_documented_values(self) -> None:
+        assert TERM_BYTES == 8
+        assert POSTING_BYTES == 24
+        assert QUERY_HEADER_BYTES == 16
+        assert ADDRESS_BYTES == 6
+
+    def test_posting_carries_more_than_a_term(self) -> None:
+        # A posting entry (doc id, owner address, TF, length) must cost
+        # more than the bare term it is filed under.
+        assert POSTING_BYTES > TERM_BYTES
+
+    def test_default_message_size_is_header(self) -> None:
+        assert Message(MessageKind.HEARTBEAT, 1, 2).size_bytes == QUERY_HEADER_BYTES
+
+    def test_zero_size_message_allowed(self) -> None:
+        assert Message(MessageKind.LOOKUP, 1, 2, size_bytes=0).size_bytes == 0
+
+    def test_factory_sizes_compose_from_constants(self) -> None:
+        assert publish_message(1, 2, 1).size_bytes == TERM_BYTES + POSTING_BYTES
+        assert search_message(1, 2, 1).size_bytes == TERM_BYTES + QUERY_HEADER_BYTES
+        assert (
+            postings_message(1, 2, 5).size_bytes
+            == QUERY_HEADER_BYTES + 5 * POSTING_BYTES
+        )

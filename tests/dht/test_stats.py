@@ -97,3 +97,65 @@ class TestKindStats:
     def test_merge(self) -> None:
         merged = KindStats(1, 10, 2).merged_with(KindStats(2, 20, 3))
         assert (merged.messages, merged.bytes, merged.hops) == (3, 30, 5)
+
+    def test_merge_with_zero_is_identity(self) -> None:
+        base = KindStats(4, 40, 8)
+        merged = base.merged_with(KindStats())
+        assert merged == base
+
+    def test_merge_is_commutative(self) -> None:
+        a, b = KindStats(1, 2, 3), KindStats(10, 20, 30)
+        assert a.merged_with(b) == b.merged_with(a)
+
+    def test_merge_returns_new_object(self) -> None:
+        a, b = KindStats(1, 2, 3), KindStats(1, 1, 1)
+        merged = a.merged_with(b)
+        assert merged is not a and merged is not b
+        assert (a.messages, b.messages) == (1, 1)  # inputs untouched
+
+    def test_record_accumulates(self) -> None:
+        stats = KindStats()
+        stats.record(msg(size=10, hops=2))
+        stats.record(msg(size=5, hops=1))
+        assert (stats.messages, stats.bytes, stats.hops) == (2, 15, 3)
+
+
+class TestPerKindBreakdown:
+    """The per-kind breakdown must always reconcile with the totals."""
+
+    def test_totals_equal_sum_over_kinds(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.SEARCH_TERM, size=10, hops=2))
+        stats.record(msg(MessageKind.SEARCH_TERM, size=4, hops=1))
+        stats.record(msg(MessageKind.PUBLISH_TERM, size=32, hops=3))
+        stats.record(msg(MessageKind.POSTINGS, size=100, hops=1))
+        summary = stats.summary()
+        assert stats.total_messages == sum(s["messages"] for s in summary.values())
+        assert stats.total_bytes == sum(s["bytes"] for s in summary.values())
+        assert stats.total_hops == sum(s["hops"] for s in summary.values())
+
+    def test_breakdown_reconciles_after_lookups_too(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.POLL_QUERIES, size=8, hops=2))
+        stats.record_lookup(5)
+        assert stats.total_messages == 2
+        assert stats.total_hops == 7
+        assert stats.kind(MessageKind.LOOKUP).bytes == 0
+
+    def test_summary_sorted_by_kind_value(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.SEARCH_TERM))
+        stats.record(msg(MessageKind.HEARTBEAT))
+        stats.record(msg(MessageKind.PUBLISH_TERM))
+        assert list(stats.summary()) == sorted(stats.summary())
+
+    def test_merged_snapshot_matches_live_totals(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.SEARCH_TERM, size=10, hops=1))
+        snap = stats.snapshot()
+        stats.record(msg(MessageKind.SEARCH_TERM, size=7, hops=2))
+        delta = stats.delta_since(snap)
+        merged = snap[MessageKind.SEARCH_TERM].merged_with(
+            delta[MessageKind.SEARCH_TERM]
+        )
+        assert merged == stats.kind(MessageKind.SEARCH_TERM)

@@ -1,0 +1,91 @@
+"""Tests for the fault injector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import FaultInjector
+
+
+class TestDrops:
+    def test_zero_probability_never_drops(self) -> None:
+        injector = FaultInjector(drop_probability=0.0)
+        rng = random.Random(0)
+        assert not any(injector.should_drop(rng) for __ in range(100))
+
+    def test_probability_one_always_drops(self) -> None:
+        injector = FaultInjector(drop_probability=1.0)
+        rng = random.Random(0)
+        assert all(injector.should_drop(rng) for __ in range(100))
+
+    def test_rate_roughly_respected(self) -> None:
+        injector = FaultInjector(drop_probability=0.3)
+        rng = random.Random(42)
+        drops = sum(injector.should_drop(rng) for __ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_zero_probability_consumes_no_randomness(self) -> None:
+        injector = FaultInjector(drop_probability=0.0)
+        rng = random.Random(5)
+        before = rng.getstate()
+        injector.should_drop(rng)
+        assert rng.getstate() == before
+
+    def test_invalid_probability_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            FaultInjector(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(drop_probability=-0.1)
+
+
+class TestBlackouts:
+    def test_window_is_half_open(self) -> None:
+        injector = FaultInjector()
+        injector.blackout(7, start_ms=100.0, end_ms=200.0)
+        assert not injector.in_blackout(7, 99.9)
+        assert injector.in_blackout(7, 100.0)
+        assert injector.in_blackout(7, 199.9)
+        assert not injector.in_blackout(7, 200.0)
+
+    def test_only_named_node_affected(self) -> None:
+        injector = FaultInjector()
+        injector.blackout(7, 0.0, 1000.0)
+        assert not injector.in_blackout(8, 500.0)
+
+    def test_multiple_windows(self) -> None:
+        injector = FaultInjector()
+        injector.blackout(1, 0.0, 10.0)
+        injector.blackout(1, 50.0, 60.0)
+        assert injector.in_blackout(1, 5.0)
+        assert not injector.in_blackout(1, 30.0)
+        assert injector.in_blackout(1, 55.0)
+
+    def test_empty_window_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            FaultInjector().blackout(1, 10.0, 10.0)
+
+
+class TestSlowNodes:
+    def test_default_factor_is_one(self) -> None:
+        assert FaultInjector().latency_factor(1, 2) == 1.0
+
+    def test_src_and_dst_factors_multiply(self) -> None:
+        injector = FaultInjector()
+        injector.mark_slow(1, 3.0)
+        injector.mark_slow(2, 2.0)
+        assert injector.latency_factor(1, 2) == 6.0
+        assert injector.latency_factor(1, 9) == 3.0
+        assert injector.latency_factor(9, 2) == 2.0
+
+    def test_clear_slow(self) -> None:
+        injector = FaultInjector()
+        injector.mark_slow(1, 4.0)
+        injector.clear_slow(1)
+        assert injector.latency_factor(1, 2) == 1.0
+        assert injector.slow_nodes == {}
+
+    def test_speedup_factor_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            FaultInjector().mark_slow(1, 0.5)

@@ -26,13 +26,33 @@ class TestParser:
 
     def test_all_commands_registered(self) -> None:
         parser = build_parser()
-        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate"):
+        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate", "net"):
             args = parser.parse_args(
                 [command, "terms"] if command == "search" else (
                     [command, "out"] if command == "generate" else [command]
                 )
             )
             assert callable(args.handler)
+
+    def test_network_flags_parse(self) -> None:
+        args = build_parser().parse_args(
+            ["info", "--transport", "lossy", "--drop", "0.1",
+             "--latency-model", "lognormal", "--latency", "80",
+             "--timeout", "250", "--retries", "2", "--net-seed", "5"]
+        )
+        assert args.transport == "lossy"
+        assert args.drop == 0.1
+        assert args.latency_model == "lognormal"
+
+    def test_bad_transport_rejected_by_parser(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--transport", "telepathy"])
+
+    def test_out_of_range_drop_is_clean_error(self) -> None:
+        code, output = run_cli("info", "--drop", "1.5")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "drop_probability" in output
 
 
 class TestInfo:
@@ -48,6 +68,38 @@ class TestInfo:
         __, small = run_cli("info", "--small")
         assert "num_documents = 2500" in big
         assert "num_documents = 220" in small
+
+    def test_network_section_shown(self) -> None:
+        __, output = run_cli("info")
+        assert "[network]" in output
+        assert "transport = perfect" in output
+
+    def test_network_flags_override_config(self) -> None:
+        __, output = run_cli("info", "--transport", "lossy", "--drop", "0.25")
+        assert "transport = lossy" in output
+        assert "drop_probability = 0.25" in output
+
+
+class TestNet:
+    def test_sweep_table_and_monotone_retries(self) -> None:
+        code, output = run_cli(
+            "net", "--small", "--sweep", "0.0,0.2", "--lookups", "120",
+            "--net-seed", "11",
+        )
+        assert code == 0
+        lines = [l for l in output.splitlines() if l.strip()]
+        # lines[0] is the run preamble; the table follows.
+        assert lines[1].split() == ["drop", "ok", "failed", "retries", "p50_ms", "p99_ms"]
+        rows = [l.split() for l in lines[2:]]
+        assert [r[0] for r in rows] == ["0.00", "0.20"]
+        retries = [int(r[3]) for r in rows]
+        assert retries[0] == 0  # no loss, no retries
+        assert retries[1] > retries[0]
+
+    def test_net_seed_reproducible(self) -> None:
+        argv = ("net", "--small", "--sweep", "0.1", "--lookups", "80",
+                "--net-seed", "4")
+        assert run_cli(*argv) == run_cli(*argv)
 
 
 class TestHops:

@@ -11,6 +11,7 @@ from repro.config import (
     ChordConfig,
     ESearchConfig,
     ExperimentConfig,
+    NetworkConfig,
     QueryGenConfig,
     SpriteConfig,
     SyntheticCorpusConfig,
@@ -69,6 +70,47 @@ class TestValidation:
     def test_workload_negative_slope(self) -> None:
         with pytest.raises(ConfigurationError):
             WorkloadConfig(zipf_slope=-0.5)
+
+
+class TestNetworkConfig:
+    def test_defaults_are_perfect_transport(self) -> None:
+        cfg = NetworkConfig()
+        assert cfg.transport == "perfect"
+        assert cfg.drop_probability == 0.0
+
+    def test_experiment_config_embeds_network(self) -> None:
+        assert ExperimentConfig().network == NetworkConfig()
+
+    def test_unknown_transport_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(transport="carrier-pigeon")
+
+    def test_unknown_latency_model_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(latency_model="bimodal")
+
+    def test_drop_probability_bounds(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=-0.1)
+        NetworkConfig(drop_probability=1.0)  # boundary is legal
+
+    def test_timeout_must_be_positive(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(timeout_ms=0.0)
+
+    def test_negative_retries_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(max_retries=-1)
+
+    def test_uniform_bounds_ordered(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(latency_low_ms=100.0, latency_high_ms=50.0)
+
+    def test_lognormal_needs_positive_median(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(latency_model="lognormal", latency_ms=0.0)
 
 
 class TestDerived:
