@@ -14,6 +14,9 @@ search      Interactive-ish demo: train SPRITE and run ad-hoc keyword
             searches from the command line.
 generate    Synthesize a corpus + query set and save them to a directory
             (reload with repro.corpus.io.load_collection).
+perf        Run the tracked performance workload (publish + Zipf query
+            stream + churn) with the optimization layer on or off and
+            print throughput, route-cache, and profile numbers.
 
 All commands accept ``--small`` (test-sized corpus, seconds) and
 ``--seed`` (reproducibility), plus the network-model flags
@@ -304,6 +307,58 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace, out) -> int:
+    """Run the tracked perf workload and print the measurement."""
+    import json
+
+    from .perf.bench import paper_scale_config, run_perf_workload, smoke_config
+
+    # Validate the shared network flags even though the workload runs on
+    # the perfect transport (it measures the in-process hot path).
+    network = _config_from_args(args).network
+    if network.transport != "perfect":
+        raise ConfigurationError(
+            "the perf workload measures the in-process hot path and only "
+            "supports --transport perfect"
+        )
+    cfg = smoke_config() if args.small else paper_scale_config()
+    cfg = cfg.replaced(optimized=not args.baseline, seed=args.seed)
+    mode = "baseline (optimizations off)" if args.baseline else "optimized"
+    out.write(
+        f"perf workload [{mode}]: {cfg.num_peers} peers, "
+        f"{cfg.num_queries} queries, churn every {cfg.churn_every}\n"
+    )
+    result = run_perf_workload(cfg)
+    if args.json:
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(
+        f"  build {result.build_s:.2f}s · publish {result.publish_s:.2f}s · "
+        f"queries {result.query_s:.2f}s · churn {result.churn_s:.2f}s · "
+        f"total {result.total_s:.2f}s\n"
+    )
+    out.write(
+        f"  {result.queries_per_s:.0f} queries/s · "
+        f"{result.lookups_per_s:.0f} lookups/s · "
+        f"mean lookup hops {result.mean_lookup_hops:.2f} · "
+        f"{result.total_messages} messages\n"
+    )
+    if result.route_cache:
+        rc = result.route_cache
+        out.write(
+            f"  route cache: {rc['hits']} hits / {rc['misses']} misses "
+            f"(hit rate {rc['hit_rate']:.1%}), "
+            f"{rc['revalidations']} revalidations, {rc['evictions']} evictions\n"
+        )
+    out.write(f"  ranking checksum: {result.ranking_checksum[:16]}…\n")
+    counters = result.profile.get("counters", {})
+    if counters:
+        out.write("  profile counters:\n")
+        for name, value in counters.items():
+            out.write(f"    {name} = {value}\n")
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace, out) -> int:
     from .corpus.io import save_collection
     from .corpus.synthetic import SyntheticTrecCorpus
@@ -354,6 +409,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("terms", nargs="+", help="query keywords")
     p.add_argument("--top", type=int, default=10, help="answers to return")
     p.set_defaults(handler=cmd_search)
+
+    p = sub.add_parser(
+        "perf", help="run the tracked performance workload (DESIGN.md §8)"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="disable the optimization layer (route cache, incremental "
+        "repair, batched fetch) to measure the legacy paths",
+    )
+    p.add_argument("--json", action="store_true", help="print the raw JSON record")
+    p.set_defaults(handler=cmd_perf)
 
     p = sub.add_parser("generate", help="synthesize and save a collection")
     _add_common(p)

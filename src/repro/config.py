@@ -175,12 +175,21 @@ class ChordConfig:
     ``id_bits`` is the ring width (the paper hashes with MD5; we use the
     MD5 digest truncated to ``id_bits``).  ``successor_list_size``
     controls the §7 replication scheme.
+
+    The two performance knobs (DESIGN.md §8) change *speed only*, never
+    results: ``route_cache_size`` bounds each ring's epoch-validated
+    route cache (0 disables caching entirely) and ``incremental_repair``
+    lets single join/leave events patch routing tables in place instead
+    of rebuilding every table.  Tests assert both are observably
+    equivalent to the brute-force paths.
     """
 
     num_peers: int = 64
     id_bits: int = 32
     successor_list_size: int = 4
     seed: int = 4111
+    route_cache_size: int = 65536
+    incremental_repair: bool = True
 
     def __post_init__(self) -> None:
         _require(self.num_peers >= 1, "num_peers must be >= 1")
@@ -190,6 +199,7 @@ class ChordConfig:
             self.num_peers <= 2 ** self.id_bits,
             "more peers than ring positions",
         )
+        _require(self.route_cache_size >= 0, "route_cache_size must be >= 0")
 
 
 #: Transports :class:`NetworkConfig` may name.

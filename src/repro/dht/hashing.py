@@ -10,14 +10,21 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List
 
 
+@lru_cache(maxsize=1 << 18)
 def md5_hash(key: str, bits: int) -> int:
     """MD5-hash *key* onto an m-bit identifier ring.
 
     The 128-bit MD5 digest is truncated to the most significant *bits*
     bits, matching the standard Chord construction.
+
+    Memoized: every publish, poll, and query re-hashes its terms, and
+    the active vocabulary is small relative to the traffic, so the LRU
+    turns the digest into a dict probe on the hot paths.  (MD5 is a pure
+    function of its arguments, so caching cannot change any result.)
     """
     digest = hashlib.md5(key.encode("utf-8")).digest()
     value = int.from_bytes(digest, "big")

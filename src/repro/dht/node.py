@@ -10,7 +10,7 @@ copies pushed by predecessors.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .hashing import IdSpace
 
@@ -74,6 +74,19 @@ class ChordNode:
             if candidate != self.node_id and is_usable(candidate):
                 return candidate
         return None
+
+    def routing_snapshot(self) -> Tuple:
+        """Immutable copy of the complete routing state — successor,
+        predecessor, successor list, finger table.  The equivalence
+        currency of the incremental-repair tests: two repair strategies
+        are interchangeable iff every node's snapshot matches.
+        """
+        return (
+            self.successor,
+            self.predecessor,
+            tuple(self.successor_list),
+            tuple(self.fingers),
+        )
 
     # -- storage ----------------------------------------------------------
 

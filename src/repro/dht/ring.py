@@ -4,7 +4,7 @@ Implements the protocol of Stoica et al. as a discrete simulation: the
 ring holds every :class:`~repro.dht.node.ChordNode`, delivers messages
 through a pluggable :class:`~repro.net.Transport` (instant and perfect
 by default; latency/loss/retry semantics with
-:class:`~repro.net.LossyTransport`), and rebuilds routing state on
+:class:`~repro.net.LossyTransport`), and repairs routing state on
 membership change (the effect of Chord's ``stabilize`` +
 ``fix_fingers`` having converged).  Lookups are executed
 *iteratively using only per-node finger tables*, so the hop counts the
@@ -20,13 +20,34 @@ Membership events supported:
   replication manager has pushed copies to its successors (Section 7).
 * :meth:`stabilize` — converge all routing tables to the current live
   membership, as Chord's periodic stabilization eventually does.
+
+Two hot-path optimizations (see DESIGN.md §8) keep large rings fast
+without changing any observable routing outcome:
+
+* **Incremental repair** (``ChordConfig.incremental_repair``): a single
+  join or graceful leave updates only the routing entries the event
+  actually affects — the neighbours' successor/predecessor pointers,
+  the ``O(r)`` successor lists around the membership change, and the
+  ``O(log N)`` finger arcs whose targets moved — instead of rebuilding
+  every table.  The full rebuild remains as :meth:`stabilize`'s
+  fallback (and the only repair after crash failures, preserving the
+  paper's Section 7 "down peer" window); tests assert the two produce
+  byte-identical routing state.
+* **Route caching** (``ChordConfig.route_cache_size``): each node
+  remembers ``key → responsible node`` for lookups it resolved.  The
+  ring bumps a membership *epoch* on every join/leave/fail/stabilize;
+  a cached route from an older epoch is revalidated (owner still alive
+  and still responsible) before use.  A cache hit still accounts one
+  lookup message — the querying peer contacts the indexing peer
+  directly — so message counts are identical with caching on or off.
 """
 
 from __future__ import annotations
 
 import random
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..config import ChordConfig
@@ -38,6 +59,7 @@ from ..exceptions import (
     NodeNotFoundError,
 )
 from ..net import DeliveryOutcome, PerfectTransport, Transport
+from ..perf import PROFILE, RouteCache
 from .hashing import IdSpace, md5_hash
 from .messages import ADDRESS_BYTES, Message, MessageKind, QUERY_HEADER_BYTES
 from .node import ChordNode
@@ -59,7 +81,9 @@ class ChordRing:
     Parameters
     ----------
     config:
-        Ring parameters (peer count, id bits, successor-list size).
+        Ring parameters (peer count, id bits, successor-list size, plus
+        the performance knobs ``route_cache_size`` and
+        ``incremental_repair``).
     node_ids:
         Optional explicit node identifiers (for white-box tests);
         normally ids are derived by hashing peer names, as the Chord
@@ -87,7 +111,19 @@ class ChordRing:
         )
         self.nodes: Dict[int, ChordNode] = {}
         self._live_sorted: List[int] = []
+        self._live_view: Optional[List[int]] = None
         self._rng = random.Random(self.config.seed)
+        #: Membership epoch: bumped on every routing-state change so
+        #: route caches can cheaply detect staleness.
+        self.epoch = 0
+        #: Whether every routing table matches the current membership
+        #: (False inside the post-crash window of Section 7).
+        self._converged = False
+        self.route_cache: Optional[RouteCache] = (
+            RouteCache(self.config.route_cache_size)
+            if self.config.route_cache_size > 0
+            else None
+        )
 
         ids = node_ids if node_ids is not None else self._generate_ids(self.config.num_peers)
         for node_id in ids:
@@ -117,14 +153,29 @@ class ChordRing:
         node = ChordNode(node_id, self.space)
         self.nodes[node_id] = node
         insort(self._live_sorted, node_id)
+        self._live_view = None
+        self._converged = False
         return node
+
+    def _bump_epoch(self) -> None:
+        """Signal a routing-state change to every route cache."""
+        self.epoch += 1
 
     # -- membership views ----------------------------------------------------
 
     @property
     def live_ids(self) -> List[int]:
-        """Sorted ids of all live nodes."""
-        return list(self._live_sorted)
+        """Sorted ids of all live nodes.
+
+        The list is a cached view, rebuilt only when membership changes
+        — hot loops (churn drivers, replication sweeps, experiments) may
+        iterate it every step without paying a per-access copy.  Treat
+        it as **read-only**; mutate membership through join/leave/fail.
+        """
+        view = self._live_view
+        if view is None:
+            view = self._live_view = list(self._live_sorted)
+        return view
 
     @property
     def num_live(self) -> int:
@@ -171,13 +222,37 @@ class ChordRing:
         idx = bisect_left(self._live_sorted, node_id)
         return self._live_sorted[idx - 1] if idx > 0 else self._live_sorted[-1]
 
+    def _ids_in_range(self, a: int, b: int) -> List[int]:
+        """Live node ids in the circular interval ``(a, b]``."""
+        ids = self._live_sorted
+        if not ids:
+            return []
+        if a == b:
+            return list(ids)
+        lo = bisect_right(ids, a)
+        hi = bisect_right(ids, b)
+        if a < b:
+            return ids[lo:hi]
+        return ids[lo:] + ids[:hi]
+
     # -- routing-state convergence ------------------------------------------
 
     def stabilize(self) -> None:
-        """Rebuild every live node's routing state for the current
-        membership (the fixed point of Chord's stabilize/fix_fingers)."""
+        """Converge every live node's routing state to the current
+        membership (the fixed point of Chord's stabilize/fix_fingers).
+
+        When incremental repair is enabled and no membership event is
+        outstanding (the tables already converged), this is a no-op —
+        periodic stabilization in a quiescent ring costs nothing, which
+        is what makes steady churn schedules cheap.
+        """
+        if self._converged and self.config.incremental_repair:
+            if PROFILE.enabled:
+                PROFILE.count("stabilize.noop")
+            return
         if not self._live_sorted:
             return
+        t0 = perf_counter() if PROFILE.enabled else 0.0
         r = self.config.successor_list_size
         n = len(self._live_sorted)
         for node_id in self._live_sorted:
@@ -192,6 +267,116 @@ class ChordRing:
                 self.successor_of(self.space.finger_start(node_id, i))
                 for i in range(self.space.bits)
             ]
+        self._converged = True
+        self._bump_epoch()
+        if PROFILE.enabled:
+            PROFILE.count("stabilize.full")
+            PROFILE.add_time("stabilize", perf_counter() - t0)
+
+    def _refresh_neighborhood(self, idx: int) -> None:
+        """Recompute successor pointer + successor list for the node at
+        position *idx* of the live ring (incremental-repair helper)."""
+        ids = self._live_sorted
+        n = len(ids)
+        r = self.config.successor_list_size
+        node = self.nodes[ids[idx]]
+        node.successor = ids[(idx + 1) % n]
+        node.successor_list = [
+            ids[(idx + 1 + t) % n] for t in range(min(r, n - 1))
+        ] or [node.node_id]
+
+    def _repair_join(self, node_id: int) -> None:
+        """Incremental routing repair after a single join.
+
+        Only the entries the join can affect are touched: the new
+        node's own tables, its successor's predecessor pointer, the
+        successor lists of its ``r`` predecessors, and — per finger
+        index ``i`` — the arc of nodes whose finger start
+        ``n + 2^i`` landed in the interval the new node took over.
+        Expected cost ``O(log N · log N + r)`` versus the full
+        rebuild's ``O(N · log N)``.
+        """
+        t0 = perf_counter() if PROFILE.enabled else 0.0
+        ids = self._live_sorted
+        n = len(ids)
+        space = self.space
+        idx = bisect_left(ids, node_id)
+        pred_id = ids[(idx - 1) % n]
+        succ_id = ids[(idx + 1) % n]
+
+        node = self.nodes[node_id]
+        node.predecessor = pred_id
+        self.nodes[succ_id].predecessor = node_id
+        # The new node and its r predecessors see a shifted successor
+        # window; recompute their successor pointers + lists.
+        r = self.config.successor_list_size
+        for k in range(min(r, n - 1) + 1):
+            self._refresh_neighborhood((idx - k) % n)
+        # The new node's fingers come from the (already updated) oracle.
+        node.fingers = [
+            self.successor_of(space.finger_start(node_id, i))
+            for i in range(space.bits)
+        ]
+        # Fingers of other nodes: every start in (pred, new] previously
+        # resolved to the old owner (new's successor) and now resolves
+        # to the new node.  The nodes carrying such a start for finger
+        # index i form the arc (pred - 2^i, new - 2^i].
+        size = space.size
+        for i in range(space.bits):
+            step = 1 << i
+            for nid in self._ids_in_range(
+                (pred_id - step) % size, (node_id - step) % size
+            ):
+                self.nodes[nid].fingers[i] = node_id
+        self._converged = True
+        self._bump_epoch()
+        if PROFILE.enabled:
+            PROFILE.count("stabilize.incremental")
+            PROFILE.add_time("stabilize", perf_counter() - t0)
+
+    def _repair_leave(self, departed: int) -> None:
+        """Incremental routing repair after a single graceful leave
+        (called after *departed* is removed from the membership)."""
+        t0 = perf_counter() if PROFILE.enabled else 0.0
+        ids = self._live_sorted
+        n = len(ids)
+        space = self.space
+        idx = bisect_left(ids, departed)
+        succ_id = ids[idx % n]
+        pred_id = ids[(idx - 1) % n]
+
+        self.nodes[succ_id].predecessor = pred_id
+        # The departed node's r predecessors lose it from their
+        # successor windows; recompute pointers + lists.
+        r = self.config.successor_list_size
+        for k in range(min(r, n - 1) + 1):
+            self._refresh_neighborhood((idx - 1 - k) % n)
+        # Fingers that pointed at the departed node (starts in
+        # (pred, departed]) now resolve to its successor.
+        size = space.size
+        for i in range(space.bits):
+            step = 1 << i
+            for nid in self._ids_in_range(
+                (pred_id - step) % size, (departed - step) % size
+            ):
+                self.nodes[nid].fingers[i] = succ_id
+        self._converged = True
+        self._bump_epoch()
+        if PROFILE.enabled:
+            PROFILE.count("stabilize.incremental")
+            PROFILE.add_time("stabilize", perf_counter() - t0)
+
+    def _can_repair_incrementally(self, was_converged: bool) -> bool:
+        """Whether a membership event may use incremental repair: the
+        feature is on, the previous tables were converged (no crash
+        window outstanding), and the ring is large enough that
+        successor-list lengths are stable (tiny rings full-rebuild —
+        it is both simpler and just as fast there)."""
+        return (
+            self.config.incremental_repair
+            and was_converged
+            and len(self._live_sorted) > self.config.successor_list_size + 2
+        )
 
     # -- lookups (finger-table routing, authentic hop counts) ----------------
 
@@ -220,6 +405,12 @@ class ChordRing:
         """Iteratively resolve the node responsible for *key*, starting
         from *start_id*, using only finger tables and successor lists.
 
+        With a route cache configured, a previously resolved route is
+        reused after revalidation against the current membership epoch;
+        the hit is accounted as one direct message (hop count 1), since
+        the requesting peer already knows the responsible peer's
+        address.  Cache misses route normally and populate the cache.
+
         Raises :class:`NodeFailedError` if routing terminates at a node
         that has crashed but whose failure has not yet been repaired by
         :meth:`stabilize` — the window the paper's Section 7 discusses.
@@ -229,9 +420,40 @@ class ChordRing:
         """
         if not self._live_sorted:
             raise EmptyRingError("no live nodes")
+        profiling = PROFILE.enabled
+        t0 = perf_counter() if profiling else 0.0
         start = self.node(start_id)
         if not start.alive:
             raise NodeFailedError(start_id)
+
+        cache = self.route_cache
+        if cache is not None:
+            entry = cache.get(start_id, key)
+            if entry is not None:
+                target, entry_epoch = entry
+                if entry_epoch != self.epoch:
+                    # Membership changed since this route was resolved:
+                    # the cached owner must still be alive and still
+                    # responsible, else the entry is stale.
+                    tnode = self.nodes.get(target)
+                    if tnode is not None and tnode.alive and tnode.owns(key):
+                        cache.refresh(start_id, key, target, self.epoch)
+                    else:
+                        cache.invalidate(start_id, key)
+                        entry = None
+                if entry is not None:
+                    cache.hits += 1
+                    if self.transport.active:
+                        self._deliver_hop(start_id, target)
+                    if record:
+                        self.stats.record_lookup(1)
+                    if profiling:
+                        PROFILE.count("route_cache.hit")
+                        PROFILE.add_time("lookup", perf_counter() - t0)
+                    return LookupResult(target, 1, (start_id, target))
+            cache.misses += 1
+            if profiling:
+                PROFILE.count("route_cache.miss")
 
         current = start
         hops = 0
@@ -272,8 +494,12 @@ class ChordRing:
             path.append(nxt)
             current = self.node(nxt)
 
+        if cache is not None and result.node_id != start_id:
+            cache.store(start_id, key, result.node_id, self.epoch)
         if record:
             self.stats.record_lookup(result.hops)
+        if profiling:
+            PROFILE.add_time("lookup", perf_counter() - t0)
         return result
 
     def lookup_term(self, start_id: int, term: str, record: bool = True) -> LookupResult:
@@ -306,7 +532,11 @@ class ChordRing:
         """A new peer joins; keys it now owns migrate from its successor.
 
         Returns the new node's id.  Routing state is re-converged
-        immediately (call this between, not during, lookups).
+        immediately — incrementally when only this join is outstanding,
+        via the full rebuild otherwise (call this between, not during,
+        lookups).  The membership-epoch bump invalidates every cached
+        route into the interval the new node takes over, including ids
+        chosen by collision probing.
         """
         if node_id is None:
             base = name if name is not None else f"joiner-{self._rng.randint(0, 1 << 30)}"
@@ -316,6 +546,7 @@ class ChordRing:
         if node_id in self.nodes and self.nodes[node_id].alive:
             raise DHTError(f"node id already live: {node_id}")
         self.nodes.pop(node_id, None)
+        was_converged = self._converged
         new_node = self._insert_node(node_id)
 
         # Key transfer: entries in (predecessor(new), new] move from the
@@ -330,7 +561,10 @@ class ChordRing:
             ]
             for key in moving:
                 new_node.store[key] = successor.store.pop(key)
-        self.stabilize()
+        if self._can_repair_incrementally(was_converged):
+            self._repair_join(node_id)
+        else:
+            self.stabilize()
         return node_id
 
     def leave(self, node_id: int) -> None:
@@ -340,14 +574,20 @@ class ChordRing:
             raise NodeFailedError(node_id)
         if len(self._live_sorted) <= 1:
             raise EmptyRingError("cannot remove the last live node")
+        was_converged = self._converged
         idx = bisect_left(self._live_sorted, node_id)
         successor = self.nodes[self._live_sorted[(idx + 1) % len(self._live_sorted)]]
         successor.store.update(node.store)
         node.store.clear()
         node.alive = False
         self._live_sorted.pop(idx)
+        self._live_view = None
+        self._converged = False
         del self.nodes[node_id]
-        self.stabilize()
+        if self._can_repair_incrementally(was_converged):
+            self._repair_leave(node_id)
+        else:
+            self.stabilize()
 
     def fail(self, node_id: int) -> None:
         """Crash-stop failure: no key handover, no immediate repair.
@@ -355,6 +595,8 @@ class ChordRing:
         The node stays in other nodes' routing tables until
         :meth:`stabilize` runs — lookups during that window may raise
         :class:`NodeFailedError`, modelling the paper's "down" peers.
+        The membership epoch still advances immediately, so route caches
+        revalidate (and drop) entries pointing at the crashed peer.
         """
         node = self.node(node_id)
         if not node.alive:
@@ -363,6 +605,9 @@ class ChordRing:
         idx = bisect_left(self._live_sorted, node_id)
         if idx < len(self._live_sorted) and self._live_sorted[idx] == node_id:
             self._live_sorted.pop(idx)
+        self._live_view = None
+        self._converged = False
+        self._bump_epoch()
 
     # -- key placement helpers (application API) -----------------------------
 

@@ -1,0 +1,21 @@
+"""repro.perf — the hot-path optimization layer (DESIGN.md §8).
+
+Three cooperating pieces:
+
+* :mod:`repro.perf.profile` — opt-in wall-clock timers and event
+  counters (``PROFILE``) that the simulator's hot paths report into;
+* :mod:`repro.perf.route_cache` — the epoch-validated per-node route
+  cache :class:`ChordRing` consults before multi-hop routing;
+* :mod:`repro.perf.bench` — the tracked end-to-end workload
+  (publish + Zipf query stream + churn) behind
+  ``benchmarks/test_bench_perf.py`` and the ``perf`` CLI subcommand.
+
+``bench`` is deliberately *not* imported here: it builds rings and query
+processors, and the ring itself imports this package for ``PROFILE`` /
+``RouteCache`` — import it explicitly as ``repro.perf.bench``.
+"""
+
+from .profile import PROFILE, PerfProfile
+from .route_cache import RouteCache
+
+__all__ = ["PROFILE", "PerfProfile", "RouteCache"]

@@ -1,0 +1,135 @@
+"""Opt-in hot-path profiling: wall-clock timers plus event counters.
+
+The simulator's hot paths (DHT lookups, posting fetches, similarity
+scoring, the learning loop) carry lightweight hooks that report into a
+module-level :class:`PerfProfile`.  Profiling is **off by default** and
+the hooks reduce to a single attribute check, so the instrumented code
+pays effectively nothing when nobody is measuring.
+
+Usage::
+
+    from repro.perf import PROFILE
+
+    PROFILE.enable()
+    ... run a workload ...
+    print(PROFILE.report())
+    PROFILE.disable()
+
+Timers use :func:`time.perf_counter`; counters are plain integers
+(route-cache hits/misses, full vs incremental stabilizations, batched
+fetches, ...).  ``summary()`` returns a plain dict suitable for JSON
+serialization — the ``perf`` CLI subcommand and the benchmark harness
+both print it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class PerfProfile:
+    """Aggregated timers and counters for one profiling session."""
+
+    __slots__ = ("enabled", "_total_s", "_calls", "_counters")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._total_s: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> "PerfProfile":
+        """Start collecting (returns self for chaining)."""
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Stop collecting; accumulated data stays readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every timer and counter."""
+        self._total_s.clear()
+        self._calls.clear()
+        self._counters.clear()
+
+    # -- recording ---------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate one timed span (hot paths call this directly with
+        a pre-measured delta so the disabled case stays branch-cheap)."""
+        self._total_s[name] = self._total_s.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context-manager form for coarse (non-hot-path) spans."""
+        if not self.enabled:
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, perf_counter() - t0)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def total_seconds(self, name: str) -> float:
+        """Accumulated seconds of a timer (0.0 if never used)."""
+        return self._total_s.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of spans recorded under a timer name."""
+        return self._calls.get(name, 0)
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict snapshot: ``{"timers": ..., "counters": ...}``."""
+        return {
+            "timers": {
+                name: {
+                    "calls": self._calls.get(name, 0),
+                    "total_s": round(total, 6),
+                    "mean_us": round(
+                        1e6 * total / self._calls[name], 3
+                    )
+                    if self._calls.get(name)
+                    else 0.0,
+                }
+                for name, total in sorted(self._total_s.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+    def report(self) -> str:
+        """Human-readable table of the summary."""
+        s = self.summary()
+        lines = ["timer                       calls      total_s     mean_us"]
+        for name, row in s["timers"].items():
+            lines.append(
+                f"{name:<24} {row['calls']:>9} {row['total_s']:>12.4f} "
+                f"{row['mean_us']:>11.2f}"
+            )
+        if s["counters"]:
+            lines.append("")
+            lines.append("counter                      value")
+            for name, value in s["counters"].items():
+                lines.append(f"{name:<24} {value:>10}")
+        return "\n".join(lines)
+
+
+#: The module-level profile every instrumented hot path reports into.
+#: Disabled by default; ``PROFILE.enable()`` turns collection on.
+PROFILE = PerfProfile()

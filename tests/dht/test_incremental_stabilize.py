@@ -1,0 +1,132 @@
+"""Incremental repair ≡ full rebuild (ISSUE 2 satellite).
+
+Two rings with identical explicit memberships — one running incremental
+repair, one forced to full rebuilds — are driven through the same random
+sequence of joins, graceful leaves, crash failures, data placements, and
+explicit stabilizations.  After every event the complete routing state
+of every node (successor, predecessor, successor list, finger table,
+liveness) and every node's key store must be identical: the two repair
+strategies are interchangeable by construction, which is what licenses
+the fast path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChordConfig
+from repro.dht.ring import ChordRing
+
+BITS = 12
+SIZE = 1 << BITS
+
+
+def build_pair(ids):
+    common = dict(
+        num_peers=len(ids),
+        id_bits=BITS,
+        successor_list_size=3,
+        seed=1,
+        route_cache_size=0,
+    )
+    full = ChordRing(
+        ChordConfig(incremental_repair=False, **common), node_ids=list(ids)
+    )
+    inc = ChordRing(
+        ChordConfig(incremental_repair=True, **common), node_ids=list(ids)
+    )
+    return full, inc
+
+
+def ring_state(ring: ChordRing):
+    return {
+        node_id: (node.alive, node.routing_snapshot(), tuple(sorted(node.store)))
+        for node_id, node in sorted(ring.nodes.items())
+    }
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_incremental_repair_matches_full_rebuild(data) -> None:
+    initial = sorted(
+        data.draw(
+            st.sets(st.integers(0, SIZE - 1), min_size=8, max_size=20),
+            label="initial ids",
+        )
+    )
+    full, inc = build_pair(initial)
+    assert ring_state(full) == ring_state(inc)
+
+    num_ops = data.draw(st.integers(5, 30), label="op count")
+    for step in range(num_ops):
+        op = data.draw(
+            st.sampled_from(["join", "join", "leave", "leave", "fail", "stabilize", "place"]),
+            label=f"op {step}",
+        )
+        if op == "join":
+            candidate = data.draw(st.integers(0, SIZE - 1), label="join id")
+            if candidate in inc.nodes and inc.nodes[candidate].alive:
+                continue
+            full.join(node_id=candidate)
+            inc.join(node_id=candidate)
+        elif op == "leave":
+            if inc.num_live <= 5:
+                continue
+            victim = data.draw(st.sampled_from(inc.live_ids), label="leaver")
+            full.leave(victim)
+            inc.leave(victim)
+        elif op == "fail":
+            if inc.num_live <= 5:
+                continue
+            victim = data.draw(st.sampled_from(inc.live_ids), label="crasher")
+            full.fail(victim)
+            inc.fail(victim)
+        elif op == "place":
+            key = data.draw(st.integers(0, SIZE - 1), label="placed key")
+            full.place(key, "payload")
+            inc.place(key, "payload")
+        else:
+            full.stabilize()
+            inc.stabilize()
+        assert ring_state(full) == ring_state(inc), f"diverged after {op}"
+        assert full.live_ids == inc.live_ids
+
+
+def test_single_join_repairs_incrementally_without_full_rebuild() -> None:
+    """White-box: in a converged large-enough ring a join must take the
+    incremental path (no stabilize.full), and still match the rebuild."""
+    from repro.perf import PROFILE
+
+    ids = [37 * i + 5 for i in range(30)]
+    full, inc = build_pair(ids)
+    PROFILE.reset()
+    PROFILE.enable()
+    try:
+        full.join(node_id=1000)
+        inc.join(node_id=1000)
+    finally:
+        PROFILE.disable()
+    assert PROFILE.counter("stabilize.incremental") == 1
+    assert PROFILE.counter("stabilize.full") == 1  # only the legacy ring
+    assert ring_state(full) == ring_state(inc)
+
+
+def test_stabilize_is_noop_when_converged() -> None:
+    __, inc = build_pair([101 * i + 3 for i in range(20)])
+    epoch = inc.epoch
+    inc.stabilize()
+    inc.stabilize()
+    assert inc.epoch == epoch  # no routing change → caches stay valid
+
+
+def test_tiny_ring_falls_back_to_full_rebuild() -> None:
+    """Below the successor-list threshold every membership change
+    reshapes every successor list; the fallback keeps it correct."""
+    full, inc = build_pair([100, 900, 1800, 2600])
+    inc.join(node_id=3000)
+    full.join(node_id=3000)
+    assert ring_state(full) == ring_state(inc)
+    inc.leave(900)
+    full.leave(900)
+    assert ring_state(full) == ring_state(inc)

@@ -1,0 +1,195 @@
+"""Route-cache behaviour: the bounded map itself, and its integration
+into ``ChordRing.lookup`` — epoch invalidation, message accounting, and
+correctness across joins, leaves, and crashes (ISSUE 2 satellites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChordConfig
+from repro.dht.messages import MessageKind
+from repro.dht.ring import ChordRing
+from repro.exceptions import NodeFailedError
+from repro.perf import RouteCache
+
+
+def make_ring(num_peers: int = 64, cache: int = 65536, **kwargs) -> ChordRing:
+    return ChordRing(
+        ChordConfig(num_peers=num_peers, route_cache_size=cache, **kwargs)
+    )
+
+
+class TestRouteCacheUnit:
+    def test_rejects_nonpositive_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            RouteCache(0)
+
+    def test_store_and_get(self) -> None:
+        cache = RouteCache(4)
+        assert cache.get(1, 10) is None
+        cache.store(1, 10, 99, epoch=3)
+        assert cache.get(1, 10) == (99, 3)
+        assert len(cache) == 1
+
+    def test_fifo_eviction_at_capacity(self) -> None:
+        cache = RouteCache(2)
+        cache.store(1, 10, 99, 0)
+        cache.store(1, 11, 98, 0)
+        cache.store(1, 12, 97, 0)
+        assert cache.get(1, 10) is None  # oldest evicted
+        assert cache.get(1, 12) == (97, 0)
+        assert cache.evictions == 1
+
+    def test_restore_of_existing_key_does_not_evict(self) -> None:
+        cache = RouteCache(2)
+        cache.store(1, 10, 99, 0)
+        cache.store(1, 11, 98, 0)
+        cache.store(1, 10, 99, 1)  # overwrite, cache is full but key exists
+        assert cache.evictions == 0
+        assert cache.get(1, 11) == (98, 0)
+
+    def test_refresh_restamps_epoch_and_counts(self) -> None:
+        cache = RouteCache(4)
+        cache.store(1, 10, 99, 0)
+        cache.refresh(1, 10, 99, 5)
+        assert cache.get(1, 10) == (99, 5)
+        assert cache.revalidations == 1
+
+    def test_invalidate_and_clear(self) -> None:
+        cache = RouteCache(4)
+        cache.store(1, 10, 99, 0)
+        cache.invalidate(1, 10)
+        assert cache.get(1, 10) is None
+        cache.store(2, 20, 88, 0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate_and_stats(self) -> None:
+        cache = RouteCache(4)
+        assert cache.hit_rate == 0.0
+        cache.hits, cache.misses = 3, 1
+        assert cache.hit_rate == 0.75
+        stats = cache.stats()
+        assert stats["hits"] == 3 and stats["capacity"] == 4
+
+
+class TestRingIntegration:
+    def test_cache_disabled_when_size_zero(self) -> None:
+        ring = make_ring(cache=0)
+        assert ring.route_cache is None
+        start = ring.live_ids[0]
+        assert ring.lookup(start, 12345).node_id == ring.successor_of(12345)
+
+    def test_repeat_lookup_served_from_cache(self) -> None:
+        ring = make_ring()
+        start = ring.live_ids[0]
+        key = 123456789 % ring.space.size
+        first = ring.lookup(start, key)
+        assert ring.route_cache.hits == 0
+        second = ring.lookup(start, key)
+        assert second.node_id == first.node_id
+        assert ring.route_cache.hits == 1
+        # A cache hit is a direct contact: exactly one hop.
+        assert second.hops == 1
+
+    def test_cached_hit_accounts_one_lookup_message_and_hop(self) -> None:
+        ring = make_ring()
+        start = ring.live_ids[0]
+        key = 987654321 % ring.space.size
+        ring.lookup(start, key)
+        before = ring.stats.kind(MessageKind.LOOKUP)
+        msgs0, hops0 = before.messages, before.hops
+        ring.lookup(start, key)  # cache hit
+        after = ring.stats.kind(MessageKind.LOOKUP)
+        assert after.messages == msgs0 + 1
+        assert after.hops == hops0 + 1
+
+    def test_cache_not_consulted_when_start_owns_key(self) -> None:
+        ring = make_ring()
+        owner = ring.live_ids[5]
+        key = owner  # a node always owns its own id
+        for __ in range(2):
+            result = ring.lookup(owner, key)
+            assert result.node_id == owner
+            assert result.hops == 0
+
+    def test_lookup_correct_after_join_takes_over_key(self) -> None:
+        """Regression (ISSUE 2 satellite): a join that takes ownership of
+        a cached key must invalidate the stale route via the epoch bump."""
+        ring = ChordRing(
+            ChordConfig(num_peers=3, route_cache_size=64), node_ids=[100, 2000, 40000]
+        )
+        key = 1500  # owned by 2000
+        assert ring.lookup(100, key).node_id == 2000
+        ring.join(node_id=1600)  # takes over (100, 1600], including 1500
+        assert ring.successor_of(key) == 1600
+        assert ring.lookup(100, key).node_id == 1600
+
+    def test_lookup_correct_after_collision_probed_join(self) -> None:
+        """A name-hashed join lands via collision probing on a fresh id;
+        cached routes into the interval it takes over must not survive."""
+        ring = make_ring(num_peers=32)
+        start = ring.live_ids[0]
+        keys = [(7919 * i) % ring.space.size for i in range(50)]
+        for key in keys:
+            ring.lookup(start, key)
+        new_id = ring.join(name="late-arriving-peer")
+        assert ring.is_live(new_id)
+        for key in keys:
+            assert ring.lookup(start, key).node_id == ring.successor_of(key)
+
+    def test_lookup_correct_after_graceful_leave(self) -> None:
+        ring = make_ring(num_peers=32)
+        start = ring.live_ids[0]
+        key = (ring.live_ids[10] - 1) % ring.space.size
+        owner = ring.lookup(start, key).node_id
+        if owner == start:
+            owner = ring.live_ids[10]
+        ring.leave(owner)
+        assert ring.lookup(start, key).node_id == ring.successor_of(key)
+
+    def test_cached_route_to_crashed_node_fails_like_routing(self) -> None:
+        """A cached route pointing at a crashed, unrepaired owner must
+        fail exactly like routed lookup does (Section 7 window), not
+        silently return the dead peer."""
+        ring = make_ring(num_peers=32)
+        start = ring.live_ids[0]
+        key = (ring.live_ids[16] + 1) % ring.space.size
+        owner = ring.lookup(start, key).node_id
+        if owner == start:
+            pytest.skip("start owns the probe key for this seed")
+        ring.fail(owner)
+        with pytest.raises(NodeFailedError):
+            ring.lookup(start, key)
+        ring.stabilize()
+        assert ring.lookup(start, key).node_id == ring.successor_of(key)
+
+    def test_revalidation_survives_unrelated_churn(self) -> None:
+        """Epoch changes from membership events elsewhere on the ring
+        revalidate (not discard) still-correct routes."""
+        ring = make_ring(num_peers=64)
+        start = ring.live_ids[0]
+        key = (ring.live_ids[32] + 1) % ring.space.size
+        owner = ring.lookup(start, key).node_id
+        ring.join(name="elsewhere")  # almost surely not in (start, owner]
+        result = ring.lookup(start, key)
+        assert result.node_id == ring.successor_of(key)
+        if result.node_id == owner and result.hops == 1:
+            assert ring.route_cache.revalidations >= 1
+
+    def test_oracle_agreement_under_mixed_churn(self) -> None:
+        import random
+
+        ring = make_ring(num_peers=48)
+        rng = random.Random(11)
+        for step in range(6):
+            keys = [rng.randrange(ring.space.size) for __ in range(40)]
+            starts = [ring.random_live_id(rng) for __ in keys]
+            for start, key in zip(starts, keys):
+                assert ring.lookup(start, key).node_id == ring.successor_of(key)
+            ring.join(name=f"churn-{step}")
+            ring.leave(ring.random_live_id(rng))
+            ring.stabilize()
+            for start, key in zip(starts, keys):
+                if ring.is_live(start):
+                    assert ring.lookup(start, key).node_id == ring.successor_of(key)

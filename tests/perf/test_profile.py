@@ -1,0 +1,104 @@
+"""The opt-in profiling layer and the perf workload plumbing."""
+
+from __future__ import annotations
+
+from repro.perf import PROFILE, PerfProfile
+from repro.perf.bench import (
+    PerfWorkloadConfig,
+    run_perf_workload,
+    smoke_config,
+)
+
+
+class TestPerfProfile:
+    def test_disabled_by_default_and_resettable(self) -> None:
+        profile = PerfProfile()
+        assert not profile.enabled
+        profile.enable()
+        profile.add_time("lookup", 0.25)
+        profile.count("hits", 3)
+        profile.reset()
+        assert profile.total_seconds("lookup") == 0.0
+        assert profile.counter("hits") == 0
+
+    def test_add_time_accumulates(self) -> None:
+        profile = PerfProfile().enable()
+        profile.add_time("lookup", 0.5)
+        profile.add_time("lookup", 0.25)
+        assert profile.total_seconds("lookup") == 0.75
+        assert profile.calls("lookup") == 2
+
+    def test_timer_context_records_only_when_enabled(self) -> None:
+        profile = PerfProfile()
+        with profile.timer("span"):
+            pass
+        assert profile.calls("span") == 0
+        profile.enable()
+        with profile.timer("span"):
+            pass
+        assert profile.calls("span") == 1
+        assert profile.total_seconds("span") >= 0.0
+
+    def test_summary_and_report_shape(self) -> None:
+        profile = PerfProfile().enable()
+        profile.add_time("lookup", 0.002)
+        profile.count("route_cache.hit", 7)
+        summary = profile.summary()
+        assert summary["timers"]["lookup"]["calls"] == 1
+        assert summary["counters"]["route_cache.hit"] == 7
+        text = profile.report()
+        assert "lookup" in text and "route_cache.hit" in text
+
+    def test_module_singleton_starts_disabled(self) -> None:
+        assert isinstance(PROFILE, PerfProfile)
+        assert not PROFILE.enabled
+
+
+class TestPerfWorkload:
+    def test_smoke_workload_is_deterministic_and_equivalent(self) -> None:
+        """The tracked scenario: the optimized and baseline stacks must
+        produce the same ranking checksum (speed-only changes), and the
+        same config must reproduce the same measurement inputs."""
+        cfg = smoke_config().replaced(num_queries=150, num_peers=100)
+        optimized = run_perf_workload(cfg)
+        baseline = run_perf_workload(cfg.replaced(optimized=False))
+        again = run_perf_workload(cfg)
+        assert optimized.ranking_checksum == baseline.ranking_checksum
+        assert optimized.ranking_checksum == again.ranking_checksum
+        assert optimized.lookups == baseline.lookups
+        assert optimized.route_cache is not None
+        assert optimized.route_cache["hits"] > 0
+        assert baseline.route_cache is None
+
+    def test_result_record_is_json_friendly(self) -> None:
+        import json
+
+        cfg = PerfWorkloadConfig(
+            num_peers=60,
+            num_documents=20,
+            vocabulary_size=80,
+            terms_per_document=6,
+            num_queries=40,
+            distinct_queries=15,
+            num_query_peers=8,
+            churn_every=20,
+        )
+        result = run_perf_workload(cfg)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["num_queries"] == 40
+        assert payload["queries_per_s"] > 0
+        assert set(payload["profile"]) == {"timers", "counters"}
+
+    def test_workload_leaves_global_profile_disabled(self) -> None:
+        cfg = PerfWorkloadConfig(
+            num_peers=60,
+            num_documents=10,
+            vocabulary_size=50,
+            terms_per_document=5,
+            num_queries=20,
+            distinct_queries=10,
+            num_query_peers=4,
+            churn_every=0,
+        )
+        run_perf_workload(cfg)
+        assert not PROFILE.enabled

@@ -26,7 +26,7 @@ class TestParser:
 
     def test_all_commands_registered(self) -> None:
         parser = build_parser()
-        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate", "net"):
+        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate", "net", "perf"):
             args = parser.parse_args(
                 [command, "terms"] if command == "search" else (
                     [command, "out"] if command == "generate" else [command]
@@ -128,6 +128,40 @@ class TestSearch:
         code, output = run_cli("search", "--small", "the", "and")
         assert code == 2
         assert "empty" in output
+
+
+class TestPerf:
+    def test_perf_small_prints_throughput(self) -> None:
+        code, output = run_cli("perf", "--small")
+        assert code == 0
+        assert "queries/s" in output
+        assert "route cache" in output
+        assert "ranking checksum" in output
+
+    def test_perf_baseline_disables_optimizations(self) -> None:
+        code, output = run_cli("perf", "--small", "--baseline")
+        assert code == 0
+        assert "baseline (optimizations off)" in output
+        assert "route cache" not in output
+
+    def test_perf_validates_network_flags(self) -> None:
+        code, output = run_cli("perf", "--small", "--drop", "1.5")
+        assert code == 2
+        assert output.startswith("error:")
+
+    def test_perf_rejects_lossy_transport(self) -> None:
+        code, output = run_cli("perf", "--small", "--transport", "lossy")
+        assert code == 2
+        assert "perfect" in output
+
+    def test_perf_json_record(self) -> None:
+        import json
+
+        code, output = run_cli("perf", "--small", "--json")
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["optimized"] is True
+        assert payload["queries_per_s"] > 0
 
 
 class TestGenerate:
