@@ -17,6 +17,10 @@ generate    Synthesize a corpus + query set and save them to a directory
 perf        Run the tracked performance workload (publish + Zipf query
             stream + churn) with the optimization layer on or off and
             print throughput, route-cache, and profile numbers.
+check       Run the verification harness (repro.sim): execute a scenario
+            — from a JSON file or randomly generated from a seed —
+            checking the invariant catalogue between events, then run
+            the differential oracle against centralized TF-IDF.
 
 All commands accept ``--small`` (test-sized corpus, seconds) and
 ``--seed`` (reproducibility), plus the network-model flags
@@ -359,6 +363,63 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace, out) -> int:
+    """Run the repro.sim verification harness.
+
+    Executes a scenario (``--scenario file.json`` to replay a saved
+    schedule, ``--random`` to generate one from ``--seed``) against a
+    micro SPRITE deployment, checking the two-tier invariant catalogue
+    between events; then runs the differential oracle (optimized vs
+    direct execution paths, full-index SPRITE vs centralized TF-IDF).
+    Exit code 1 on any invariant violation or oracle mismatch.
+    """
+    from .net import build_transport
+    from .sim import DifferentialOracle, Scenario, build_simulation, random_scenario
+
+    if bool(args.scenario) == bool(args.random):
+        out.write("error: pass exactly one of --scenario FILE or --random\n")
+        return 2
+    network = _config_from_args(args).network
+    transport = build_transport(network) if network.transport != "perfect" else None
+
+    if args.scenario:
+        try:
+            scenario = Scenario.load(args.scenario)
+        except (OSError, ValueError, KeyError) as exc:
+            out.write(f"error: cannot load scenario {args.scenario}: {exc}\n")
+            return 2
+        out.write(f"replaying {args.scenario}: {len(scenario)} events\n")
+    else:
+        scenario = random_scenario(seed=args.seed, num_events=args.events)
+        out.write(
+            f"random scenario: seed={args.seed}, {len(scenario)} events\n"
+        )
+    engine = build_simulation(
+        seed=args.seed, num_peers=args.peers, transport=transport
+    )
+    report = engine.run(scenario)
+    for line in report.summary_lines():
+        out.write(line + "\n")
+
+    failed = not report.ok
+    if not args.skip_oracle:
+        queries = engine.queries
+        half = max(1, len(queries) // 2)
+        oracle = DifferentialOracle(
+            engine.system.corpus,
+            train=queries[:half],
+            test=queries[half:] or queries[:half],
+            num_peers=args.peers,
+            seed=args.seed,
+        )
+        for oracle_report in oracle.check_all().values():
+            out.write(oracle_report.summary() + "\n")
+            for mismatch in oracle_report.mismatches[:5]:
+                out.write(f"  {mismatch.query_id}: {mismatch.detail}\n")
+            failed = failed or not oracle_report.ok
+    return 1 if failed else 0
+
+
 def cmd_generate(args: argparse.Namespace, out) -> int:
     from .corpus.io import save_collection
     from .corpus.synthetic import SyntheticTrecCorpus
@@ -422,6 +483,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     p.set_defaults(handler=cmd_perf)
+
+    p = sub.add_parser(
+        "check", help="run the repro.sim scenario + invariant + oracle harness"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--scenario", default="", help="replay a saved scenario JSON file"
+    )
+    p.add_argument(
+        "--random", action="store_true", help="generate a random scenario from --seed"
+    )
+    p.add_argument(
+        "--events", type=int, default=500, help="events in a random scenario"
+    )
+    p.add_argument("--peers", type=int, default=24, help="ring size for the harness")
+    p.add_argument(
+        "--skip-oracle",
+        action="store_true",
+        help="run only the scenario/invariant phase",
+    )
+    p.set_defaults(handler=cmd_check)
 
     p = sub.add_parser("generate", help="synthesize and save a collection")
     _add_common(p)

@@ -81,7 +81,10 @@ class IndexingProtocol:
         node = self.ring.node(result.node_id)
         if not node.alive:
             raise NodeFailedError(result.node_id)
-        slot = node.get_or_replica(self.term_hash(term))
+        # adopt(), not get_or_replica(): a responsible peer serving a
+        # replica-resident slot promotes it to a primary copy, so later
+        # key transfers (joins) migrate it instead of stranding it.
+        slot = node.adopt(self.term_hash(term))
         if slot is None and create:
             slot = TermSlot(term=term, cache=QueryCache(self.query_cache_size))
             node.put(self.term_hash(term), slot)
@@ -99,7 +102,14 @@ class IndexingProtocol:
         return hops + 1
 
     def unpublish(self, owner_id: int, term: str, doc_id: str) -> bool:
-        """Remove a posting during term replacement; True if it existed."""
+        """Remove a posting during term replacement; True if it existed.
+
+        The deletion is also forwarded to the indexing peer's replica
+        holders (its live successors that carry a copy of the slot), so
+        a replica shipped *before* the unpublish cannot resurrect the
+        posting when it is later promoted after a failure — the
+        double-counting race the simulation harness surfaced.
+        """
         slot, node_id, hops = self._locate_slot(owner_id, term, create=False)
         self.ring.send(
             Message(
@@ -112,7 +122,26 @@ class IndexingProtocol:
         )
         if slot is None:
             return False
-        return slot.remove_posting(doc_id) is not None
+        removed = slot.remove_posting(doc_id) is not None
+        key = self.term_hash(term)
+        for succ_id in self.ring.node(node_id).successor_list:
+            if succ_id == node_id or not self.ring.is_live(succ_id):
+                continue
+            replica = self.ring.node(succ_id).replicas.get(key)
+            if isinstance(replica, TermSlot) and doc_id in replica.inverted:
+                replica.remove_posting(doc_id)
+                try:
+                    self.ring.send(
+                        Message(
+                            kind=MessageKind.UNPUBLISH_TERM,
+                            src=node_id,
+                            dst=succ_id,
+                            size_bytes=TERM_BYTES + QUERY_HEADER_BYTES,
+                        )
+                    )
+                except NodeFailedError:
+                    continue
+        return removed
 
     # -- query registration (querying peer → indexing peers) -----------------
 
@@ -213,7 +242,7 @@ class IndexingProtocol:
             total_postings = 0
             batch_results: Dict[str, Tuple[List[PostingEntry], int]] = {}
             for term in batch:
-                slot = node.get_or_replica(self.term_hash(term))
+                slot = node.adopt(self.term_hash(term))
                 if slot is None:
                     batch_results[term] = ([], 0)
                     continue

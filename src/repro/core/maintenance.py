@@ -1,4 +1,5 @@
-"""Owner-side index maintenance: liveness probing and republication.
+"""Owner-side index maintenance: liveness probing, republication, and
+posting reconciliation.
 
 The paper's introduction counts this among the costs of a distributed
 inverted index: "it is equally costly for the owner peer to periodically
@@ -14,13 +15,28 @@ small.  This module implements the probe loop:
   responsible peer that lacks the posting (the data died with the old
   peer and no replica was promoted), the owner **republishes** it — the
   self-healing path that complements successor replication.
+
+A second, indexing-peer-driven pass — **reconciliation** — audits the
+reverse direction: every indexing peer validates each posting it holds
+against the owner's current index-term set and drops postings the owner
+no longer claims.  Without it, two failure interleavings the simulation
+harness (:mod:`repro.sim`) surfaced leave permanent orphans:
+
+* an unpublish that raced a crash (the owner dropped the term locally
+  but the deletion never reached a peer that was down at the time);
+* a stale replica promoted after a failure, resurrecting postings that
+  were unpublished after the replica was shipped.
+
+Orphaned postings inflate the indexed document frequency n'_k — the
+paper's ranking surrogate — so reconciliation is a correctness matter,
+not mere tidiness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dht.messages import Message, MessageKind, QUERY_HEADER_BYTES
+from ..dht.messages import Message, MessageKind, QUERY_HEADER_BYTES, TERM_BYTES
 from ..exceptions import NodeFailedError
 from .metadata import TermSlot
 from .system import DistributedSystem
@@ -34,10 +50,25 @@ class MaintenanceReport:
     peers_unreachable: int = 0
     postings_intact: int = 0
     postings_republished: int = 0
+    #: Orphaned postings dropped by the reconciliation pass (postings
+    #: whose live owner no longer indexes the term for that document).
+    postings_retired: int = 0
+    reconcile_messages: int = 0
 
     @property
     def postings_checked(self) -> int:
         return self.postings_intact + self.postings_republished
+
+    @property
+    def clean(self) -> bool:
+        """Whether the round found the index fully healed: every probe
+        reached a live peer holding the posting and no orphans had to
+        be retired."""
+        return (
+            self.peers_unreachable == 0
+            and self.postings_republished == 0
+            and self.postings_retired == 0
+        )
 
 
 class MaintenanceDaemon:
@@ -47,11 +78,13 @@ class MaintenanceDaemon:
     equivalent of every owner running its own timer loop).
     """
 
-    def __init__(self, system: DistributedSystem) -> None:
+    def __init__(self, system: DistributedSystem, reconcile: bool = True) -> None:
         self.system = system
+        self.reconcile = reconcile
 
     def run_round(self) -> MaintenanceReport:
-        """Probe every published (document, term) posting once."""
+        """Probe every published (document, term) posting once, then
+        reconcile indexing-peer state against owner state."""
         report = MaintenanceReport()
         protocol = self.system.protocol
         ring = self.system.ring
@@ -71,17 +104,21 @@ class MaintenanceDaemon:
                         report.peers_unreachable += 1
                         continue
                     report.probes_sent += 1
-                    ring.send(
-                        Message(
-                            kind=MessageKind.HEARTBEAT,
-                            src=owner.node_id,
-                            dst=result.node_id,
-                            size_bytes=QUERY_HEADER_BYTES,
-                            hops=result.hops + 1,
+                    try:
+                        ring.send(
+                            Message(
+                                kind=MessageKind.HEARTBEAT,
+                                src=owner.node_id,
+                                dst=result.node_id,
+                                size_bytes=QUERY_HEADER_BYTES,
+                                hops=result.hops + 1,
+                            )
                         )
-                    )
+                    except NodeFailedError:
+                        report.peers_unreachable += 1
+                        continue
                     node = ring.node(result.node_id)
-                    slot = node.get_or_replica(key)
+                    slot = node.adopt(key)
                     if (
                         isinstance(slot, TermSlot)
                         and doc_id in slot.inverted
@@ -93,7 +130,54 @@ class MaintenanceDaemon:
                     # took over an empty range).  Republish.
                     owner._publish_terms_force(state, term)
                     report.postings_republished += 1
+        if self.reconcile:
+            self._reconcile_round(report)
         return report
+
+    def _reconcile_round(self, report: MaintenanceReport) -> None:
+        """Indexing-peer-driven audit: drop postings whose live owner no
+        longer claims the (document, term) pair.
+
+        Each indexing peer batches one RECONCILE message per distinct
+        owner peer it holds postings for; the owner's reply carries the
+        verdicts (modelled as a single round trip).  Postings owned by
+        peers that are currently dead or unknown are left untouched —
+        they may still be healed or reclaimed, and deleting data on
+        behalf of an unreachable owner is exactly the kind of guess a
+        correct protocol never makes.
+        """
+        ring = self.system.ring
+        owners = self.system.owners
+        for node_id in ring.live_ids:
+            node = ring.node(node_id)
+            audited_owners = set()
+            for key, slot in list(node.store.items()):
+                if not isinstance(slot, TermSlot):
+                    continue
+                for doc_id in list(slot.inverted):
+                    posting = slot.inverted[doc_id]
+                    owner = owners.get(posting.owner_peer)
+                    if owner is None or not ring.is_live(posting.owner_peer):
+                        continue
+                    state = owner.shared.get(doc_id)
+                    if state is not None and slot.term in state.index_terms:
+                        continue
+                    if posting.owner_peer not in audited_owners:
+                        try:
+                            ring.send(
+                                Message(
+                                    kind=MessageKind.RECONCILE,
+                                    src=node_id,
+                                    dst=posting.owner_peer,
+                                    size_bytes=QUERY_HEADER_BYTES + TERM_BYTES,
+                                )
+                            )
+                        except NodeFailedError:
+                            continue
+                        audited_owners.add(posting.owner_peer)
+                        report.reconcile_messages += 1
+                    slot.remove_posting(doc_id)
+                    report.postings_retired += 1
 
     def heal_until_stable(self, max_rounds: int = 5) -> int:
         """Run rounds until a round republishes nothing (or the budget
@@ -104,6 +188,6 @@ class MaintenanceDaemon:
         for __ in range(max_rounds):
             report = self.run_round()
             total += report.postings_republished
-            if report.postings_republished == 0 and report.peers_unreachable == 0:
+            if report.clean:
                 break
         return total

@@ -94,21 +94,31 @@ class DistributedSystem:
         "use the owner's default" (top-F frequency).  Subclasses override."""
         return None
 
+    def share_document(self, doc, first_terms: Optional[List[str]] = None) -> OwnerPeer:
+        """Share one document from its (deterministically assigned)
+        owner peer, publishing its initial global index terms into the
+        DHT.  Returns the owner peer.  Used by :meth:`share_corpus` and
+        by the scenario engine's incremental ``publish`` events."""
+        node_id = self._owner_node_for(doc.doc_id)
+        owner = self.owners.get(node_id)
+        if owner is None:
+            owner = OwnerPeer(node_id, self.protocol, self.config, scorer=self.scorer)
+            self.owners[node_id] = owner
+        if first_terms is None:
+            first_terms = self._first_terms(doc.doc_id)
+        owner.share(doc, first_terms=first_terms)
+        self._doc_owner[doc.doc_id] = node_id
+        if len(self._doc_owner) >= len(self.corpus):
+            self._shared = True
+        return owner
+
     def share_corpus(self) -> None:
         """Share every corpus document from its owner peer, publishing
         the initial global index terms into the DHT."""
         if self._shared:
             return
         for doc in self.corpus:
-            node_id = self._owner_node_for(doc.doc_id)
-            owner = self.owners.get(node_id)
-            if owner is None:
-                owner = OwnerPeer(
-                    node_id, self.protocol, self.config, scorer=self.scorer
-                )
-                self.owners[node_id] = owner
-            owner.share(doc, first_terms=self._first_terms(doc.doc_id))
-            self._doc_owner[doc.doc_id] = node_id
+            self.share_document(doc)
         self._shared = True
 
     # -- querying ---------------------------------------------------------------
@@ -180,6 +190,8 @@ class SpriteSystem(DistributedSystem):
         if not self._shared:
             raise LearningError("share_corpus() must run before learning")
         for owner in self.owners.values():
+            if not self.ring.is_live(owner.node_id):
+                continue  # a crashed/departed peer cannot run its timer loop
             owner.learn_all(target_size)
 
     def run_learning(self, iterations: int | None = None) -> None:

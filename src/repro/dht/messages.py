@@ -28,6 +28,7 @@ class MessageKind(Enum):
     POSTINGS = "postings"                   # indexing peer → querying peer
     REPLICATE = "replicate"                 # indexing peer → successor(s)
     HEARTBEAT = "heartbeat"                 # liveness probe
+    RECONCILE = "reconcile"                 # indexing peer ↔ owner: posting audit
     ADVISE_HOT_TERM = "advise_hot_term"     # §7 load-balance advice
 
 

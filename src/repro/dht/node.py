@@ -105,6 +105,26 @@ class ChordNode:
             return value
         return self.replicas.get(key)
 
+    def adopt(self, key: int) -> Optional[object]:
+        """Fetch a payload like :meth:`get_or_replica`, but when the
+        value exists only as a replica *and this node is responsible for
+        the key*, promote it into the primary store first.
+
+        Serving (and mutating) a replica without adopting it is a
+        correctness hazard the simulation harness surfaced: a later key
+        transfer on join migrates only ``store``, so a replica-resident
+        slot silently drops out of the ring even though its holder was
+        answering for it.  Adoption makes the responsible node the
+        primary the moment it starts serving the key.
+        """
+        value = self.store.get(key)
+        if value is not None:
+            return value
+        value = self.replicas.get(key)
+        if value is not None and self.owns(key):
+            self.store[key] = self.replicas.pop(key)
+        return value
+
     def drop(self, key: int) -> Optional[object]:
         """Remove and return a payload."""
         return self.store.pop(key, None)

@@ -85,7 +85,38 @@ class ReplicationManager:
                         size_bytes=len(payload) * (TERM_BYTES + POSTING_BYTES),
                     )
                 )
+        self.prune_stale_replicas()
         return shipped
+
+    def prune_stale_replicas(self) -> int:
+        """Drop replica entries no current primary would push here.
+
+        A node legitimately holds a replica of *key* only while it sits
+        in the responsible node's replication window (its first *r* live
+        successors) — or while it is itself responsible (the entry is
+        then promotable and :meth:`promote_replicas` will claim it).
+        Churn moves responsibility around; copies left behind at nodes
+        that dropped out of the window are never refreshed again, and
+        promoting such an ancient copy after a later failure resurrects
+        long-deleted postings (a double-counting bug the simulation
+        harness surfaced).  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for node_id in self.ring.live_ids:
+            node = self.ring.node(node_id)
+            if not node.replicas:
+                continue
+            for key in list(node.replicas):
+                owner_id = self.ring.successor_of(key)
+                if owner_id == node_id:
+                    continue  # promotable: this node is now responsible
+                window = self.ring.node(owner_id).successor_list[
+                    : self.replication_factor
+                ]
+                if node_id not in window:
+                    node.replicas.pop(key)
+                    dropped += 1
+        return dropped
 
     def promote_replicas(self) -> int:
         """After failures + stabilize: every live node promotes replicas

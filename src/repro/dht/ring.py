@@ -181,6 +181,14 @@ class ChordRing:
     def num_live(self) -> int:
         return len(self._live_sorted)
 
+    @property
+    def converged(self) -> bool:
+        """Whether every routing table matches the current membership —
+        False inside the §7 post-crash window, True after repair.  The
+        invariant checker (:mod:`repro.sim`) gates its topology checks
+        on this."""
+        return self._converged
+
     def node(self, node_id: int) -> ChordNode:
         """Fetch a node object by id."""
         try:

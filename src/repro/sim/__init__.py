@@ -1,0 +1,47 @@
+"""repro.sim — deterministic scenario simulation and verification.
+
+The testing subsystem: a declarative scenario DSL
+(:mod:`repro.sim.events`), an engine that executes schedules against a
+live system while tracking quiescence (:mod:`repro.sim.engine`), a
+two-tier invariant catalogue checked between events
+(:mod:`repro.sim.invariants`), and a differential oracle pinning
+SPRITE's distributed rankings to simpler ground truths
+(:mod:`repro.sim.oracle`).  Exposed on the command line as
+``repro check``.
+"""
+
+from .engine import ScenarioEngine, SimReport, build_simulation
+from .events import (
+    EVENT_KINDS,
+    HEAL_SEQUENCE,
+    Scenario,
+    SimEvent,
+    random_scenario,
+    scenario,
+)
+from .invariants import InvariantChecker, InvariantReport, InvariantViolation
+from .oracle import (
+    DifferentialOracle,
+    FullIndexSystem,
+    OracleReport,
+    RankingMismatch,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "HEAL_SEQUENCE",
+    "DifferentialOracle",
+    "FullIndexSystem",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "OracleReport",
+    "RankingMismatch",
+    "Scenario",
+    "ScenarioEngine",
+    "SimEvent",
+    "SimReport",
+    "build_simulation",
+    "random_scenario",
+    "scenario",
+]

@@ -1,0 +1,338 @@
+"""The scenario engine: deterministic execution of event schedules.
+
+:class:`ScenarioEngine` applies :class:`~repro.sim.events.SimEvent`s to
+a live :class:`~repro.core.system.DistributedSystem`, advancing the
+network clock one tick per event and tracking *quiescence* — whether the
+system has healed from the damage the schedule inflicted.  Between
+events it runs the :class:`~repro.sim.invariants.InvariantChecker`:
+always-tier invariants after every event, the quiescent tier once the
+engine can prove the system healed (no un-stabilized crash, past every
+blackout window, routing converged, and a clean maintenance round).
+
+All randomness (victim selection, query choice) flows from one seeded
+``random.Random``, so a (system seed, scenario) pair replays
+byte-identically — the property the determinism regression tests and
+hypothesis shrinking both rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ChordConfig, SpriteConfig, SyntheticCorpusConfig
+from ..core.maintenance import MaintenanceDaemon
+from ..core.system import DistributedSystem, SpriteSystem
+from ..corpus.relevance import Query
+from ..dht.replication import ReplicationManager
+from ..exceptions import NodeFailedError
+from .events import Scenario, SimEvent
+from .invariants import InvariantChecker, InvariantReport, InvariantViolation
+
+
+@dataclass
+class SimReport:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    applied: Dict[str, int] = field(default_factory=dict)
+    skipped: Dict[str, int] = field(default_factory=dict)
+    checks_run: int = 0
+    quiescent_checks: int = 0
+    degraded_operations: int = 0
+    final_quiescent: bool = False
+    #: (step index, event, violation) for every invariant failure.
+    violations: List[Tuple[int, SimEvent, InvariantViolation]] = field(
+        default_factory=list
+    )
+
+    @property
+    def events_applied(self) -> int:
+        return sum(self.applied.values())
+
+    @property
+    def events_skipped(self) -> int:
+        return sum(self.skipped.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rollup for the CLI."""
+        lines = [
+            f"events applied: {self.events_applied} "
+            f"(skipped {self.events_skipped}), "
+            f"invariant checks: {self.checks_run} "
+            f"({self.quiescent_checks} at quiescence), "
+            f"degraded ops: {self.degraded_operations}",
+            "applied by kind: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.applied.items())),
+        ]
+        if self.violations:
+            lines.append(f"VIOLATIONS: {len(self.violations)}")
+            for step, event, violation in self.violations[:20]:
+                lines.append(f"  step {step} after {event.kind}: {violation}")
+        else:
+            lines.append("all invariants held")
+        return lines
+
+
+class ScenarioEngine:
+    """Applies scenario events to a system and tracks quiescence.
+
+    Parameters
+    ----------
+    system:
+        The system under test (its ring supplies the clock/transport).
+    queries:
+        Workload pool for ``query`` events.
+    replication / maintenance:
+        The repair machinery ``replicate``/``recover``/``maintain``
+        events drive; built with defaults when omitted.
+    seed:
+        Seeds victim/query selection (distinct from the system's seeds).
+    tick_ms:
+        Simulated time the clock advances per applied event.
+    """
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        queries: Sequence[Query] = (),
+        replication: ReplicationManager | None = None,
+        maintenance: MaintenanceDaemon | None = None,
+        seed: int = 0,
+        tick_ms: float = 10.0,
+    ) -> None:
+        self.system = system
+        self.queries = list(queries)
+        self.replication = (
+            replication
+            if replication is not None
+            else ReplicationManager(system.ring)
+        )
+        self.maintenance = (
+            maintenance if maintenance is not None else MaintenanceDaemon(system)
+        )
+        self.checker = InvariantChecker(system)
+        self.rng = random.Random(seed)
+        self.tick_ms = tick_ms
+        self._dirty = False
+        self._blackout_until = 0.0
+        self._unshared = [
+            doc for doc in system.corpus if doc.doc_id not in system._doc_owner
+        ]
+        self._join_counter = 0
+        self._degraded = 0
+
+    # -- quiescence ------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.system.ring.transport.clock
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether the quiescent-tier invariants are claimable: no
+        unhealed crash, every blackout window elapsed, and routing at
+        the converged fixed point."""
+        return (
+            not self._dirty
+            and self.clock.now >= self._blackout_until
+            and self.system.ring.converged
+        )
+
+    # -- event application -------------------------------------------------------
+
+    def apply(self, event: SimEvent) -> bool:
+        """Apply one event; returns False when it was skipped (e.g. a
+        crash that would empty the ring, a blackout on a transport that
+        cannot model one).  Advances the clock one tick either way a
+        state change occurred."""
+        handler = getattr(self, f"_apply_{event.kind}")
+        applied = handler(event)
+        if applied:
+            self.clock.advance(self.tick_ms)
+        return applied
+
+    def check_now(self) -> InvariantReport:
+        """Run the invariant checker against the current state."""
+        return self.checker.check(quiescent=self.quiescent)
+
+    def run(self, scenario: Scenario) -> SimReport:
+        """Execute a full scenario, checking invariants between events."""
+        self.rng.seed(scenario.seed)
+        report = SimReport(scenario=scenario)
+        for step, event in enumerate(scenario):
+            if self.apply(event):
+                report.applied[event.kind] = report.applied.get(event.kind, 0) + 1
+            else:
+                report.skipped[event.kind] = report.skipped.get(event.kind, 0) + 1
+            check = self.check_now()
+            report.checks_run += 1
+            if check.quiescent:
+                report.quiescent_checks += 1
+            for violation in check.violations:
+                report.violations.append((step, event, violation))
+        report.degraded_operations = self._degraded
+        report.final_quiescent = self.quiescent
+        return report
+
+    # -- handlers --------------------------------------------------------------
+
+    def _apply_join(self, event: SimEvent) -> bool:
+        self._join_counter += 1
+        name = event.name if event.name is not None else f"sim-{self._join_counter}"
+        try:
+            self.system.ring.join(name=name)
+        except Exception:
+            return False  # id collision after probing — acceptable no-op
+        return True
+
+    def _pick_victim(self) -> Optional[int]:
+        ring = self.system.ring
+        if ring.num_live <= 2:
+            return None
+        return ring.random_live_id(self.rng)
+
+    def _apply_leave(self, event: SimEvent) -> bool:
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self.system.ring.leave(victim)
+        return True
+
+    def _apply_crash(self, event: SimEvent) -> bool:
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self.system.ring.fail(victim)
+        self._dirty = True
+        return True
+
+    def _apply_blackout(self, event: SimEvent) -> bool:
+        transport = self.system.ring.transport
+        faults = getattr(transport, "faults", None)
+        if faults is None or not transport.active:
+            return False  # the perfect transport cannot go dark
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        start = self.clock.now
+        end = start + event.duration_ms
+        faults.blackout(victim, start, end)
+        self._blackout_until = max(self._blackout_until, end)
+        return True
+
+    def _apply_publish(self, event: SimEvent) -> bool:
+        if not self._unshared:
+            return False
+        for __ in range(event.count):
+            if not self._unshared:
+                break
+            self.system.share_document(self._unshared.pop(0))
+        return True
+
+    def _apply_query(self, event: SimEvent) -> bool:
+        if not self.queries:
+            return False
+        for __ in range(event.count):
+            query = self.rng.choice(self.queries)
+            try:
+                self.system.search(query)
+            except NodeFailedError:
+                self._degraded += 1  # §7 degraded window: issuer gave up
+        return True
+
+    def _apply_learn(self, event: SimEvent) -> bool:
+        if not isinstance(self.system, SpriteSystem):
+            return False
+        ring = self.system.ring
+        live_owners = [
+            o for o in self.system.owners.values() if ring.is_live(o.node_id)
+        ]
+        if not live_owners:
+            return False
+        owner = self.rng.choice(live_owners)
+        try:
+            owner.learn_all()
+        except NodeFailedError:
+            self._degraded += 1
+        return True
+
+    def _apply_stabilize(self, event: SimEvent) -> bool:
+        self.system.ring.stabilize()
+        return True
+
+    def _apply_replicate(self, event: SimEvent) -> bool:
+        self.replication.replicate_round()
+        return True
+
+    def _apply_recover(self, event: SimEvent) -> bool:
+        self.replication.recover_from_failures()
+        return True
+
+    def _apply_maintain(self, event: SimEvent) -> bool:
+        report = self.maintenance.run_round()
+        if (
+            report.clean
+            and self.system.ring.converged
+            and self.clock.now >= self._blackout_until
+        ):
+            # A clean probe+reconcile round over a converged ring is the
+            # proof the damage healed: quiescent-tier checks may resume.
+            self._dirty = False
+        return True
+
+
+def build_simulation(
+    seed: int = 0,
+    num_peers: int = 24,
+    transport=None,
+    queries: Sequence[Query] | None = None,
+    tick_ms: float = 10.0,
+) -> ScenarioEngine:
+    """A ready-to-run micro simulation for the CLI and the fuzzers.
+
+    Builds a small synthetic corpus and query pool, a SPRITE system on a
+    *num_peers* ring (all seeded from *seed*), replication + maintenance
+    managers, and wires them into a :class:`ScenarioEngine`.  Nothing is
+    shared up front — scenarios publish incrementally.
+    """
+    from ..corpus.synthetic import SyntheticTrecCorpus
+
+    corpus_config = SyntheticCorpusConfig(
+        num_documents=60,
+        num_topics=6,
+        vocabulary_size=420,
+        topic_core_size=20,
+        mean_doc_length=60,
+        min_doc_length=20,
+        num_original_queries=8,
+        relevant_per_query=8,
+        seed=seed + 99,
+    )
+    corpus, originals, __ = SyntheticTrecCorpus(corpus_config).build()
+    system = SpriteSystem(
+        corpus,
+        sprite_config=SpriteConfig(
+            initial_terms=3,
+            terms_per_iteration=3,
+            learning_iterations=2,
+            max_index_terms=9,
+            query_cache_size=100,
+            assumed_corpus_size=1000,
+            top_k_answers=10,
+        ),
+        chord_config=ChordConfig(
+            num_peers=num_peers,
+            id_bits=32,
+            successor_list_size=4,
+            seed=seed + 7,
+        ),
+        transport=transport,
+    )
+    pool = list(queries) if queries is not None else list(originals)
+    return ScenarioEngine(system, queries=pool, seed=seed, tick_ms=tick_ms)

@@ -1,0 +1,270 @@
+"""The invariant catalogue checked between scenario events.
+
+Two tiers, because a distributed system under active damage is *allowed*
+to be inconsistent — that is what Section 7's degraded window means:
+
+* **Always-tier** invariants hold in every reachable state, damaged or
+  not: ring membership bookkeeping is coherent, primary data sits at the
+  node the live-membership oracle says is responsible, and per-slot
+  query caches respect their capacity bound.
+* **Quiescent-tier** invariants hold once the system has healed — no
+  un-stabilized crash, no active blackout, routing converged, and a
+  clean maintenance round behind it.  They are the correctness claims
+  the repair protocols (stabilize, replica promotion, republish,
+  reconciliation) exist to restore: routing tables equal the oracle's
+  fixed point, every published posting is resolvable at its responsible
+  peer, indexing-peer state agrees with owner state, and each published
+  (document, term) pair appears exactly once across the live index.
+
+The checker reads global state directly (it is an oracle, not a peer),
+so checking generates no simulated traffic and perturbs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.metadata import TermSlot
+from ..core.system import DistributedSystem
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough detail to debug the schedule."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.invariant}: {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker pass."""
+
+    quiescent: bool
+    checked: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class InvariantChecker:
+    """Global-state invariant oracle over a :class:`DistributedSystem`."""
+
+    #: (name, quiescent-only) — the catalogue, in check order.
+    CATALOGUE: Tuple[Tuple[str, bool], ...] = (
+        ("membership_consistency", False),
+        ("primary_placement", False),
+        ("query_cache_bounds", False),
+        ("topology_matches_oracle", True),
+        ("term_resolvability", True),
+        ("owner_agreement", True),
+        ("posting_conservation", True),
+    )
+
+    def __init__(self, system: DistributedSystem) -> None:
+        self.system = system
+
+    def check(self, quiescent: bool) -> InvariantReport:
+        """Run the always-tier, plus the quiescent tier when the engine
+        says the system has healed."""
+        report = InvariantReport(quiescent=quiescent)
+        for name, quiescent_only in self.CATALOGUE:
+            if quiescent_only and not quiescent:
+                continue
+            report.checked.append(name)
+            getattr(self, f"_check_{name}")(report)
+        return report
+
+    def _fail(self, report: InvariantReport, invariant: str, detail: str) -> None:
+        report.violations.append(InvariantViolation(invariant, detail))
+
+    # -- always tier ------------------------------------------------------
+
+    def _check_membership_consistency(self, report: InvariantReport) -> None:
+        ring = self.system.ring
+        live = ring.live_ids
+        if list(live) != sorted(set(live)):
+            self._fail(
+                report, "membership_consistency", f"live_ids not sorted/unique: {live}"
+            )
+        if ring.num_live != len(live):
+            self._fail(
+                report,
+                "membership_consistency",
+                f"num_live={ring.num_live} but {len(live)} live ids",
+            )
+        for node_id in live:
+            if not ring.node(node_id).alive:
+                self._fail(
+                    report,
+                    "membership_consistency",
+                    f"node {node_id} listed live but alive=False",
+                )
+
+    def _check_primary_placement(self, report: InvariantReport) -> None:
+        """Every key in a live node's primary store belongs there under
+        the live-membership successor oracle.  Holds even mid-damage:
+        joins and graceful leaves migrate keys synchronously, and a
+        crash removes the node from the oracle's membership without
+        moving surviving keys."""
+        ring = self.system.ring
+        for node_id in ring.live_ids:
+            for key in ring.node(node_id).store:
+                responsible = ring.successor_of(key)
+                if responsible != node_id:
+                    self._fail(
+                        report,
+                        "primary_placement",
+                        f"key {key} stored at {node_id}, "
+                        f"oracle says {responsible}",
+                    )
+
+    def _check_query_cache_bounds(self, report: InvariantReport) -> None:
+        ring = self.system.ring
+        for node_id in ring.live_ids:
+            node = ring.node(node_id)
+            for key, slot in node.store.items():
+                if not isinstance(slot, TermSlot):
+                    continue
+                if len(slot.cache) > slot.cache.capacity:
+                    self._fail(
+                        report,
+                        "query_cache_bounds",
+                        f"slot {slot.term!r} at {node_id}: cache "
+                        f"{len(slot.cache)} > capacity {slot.cache.capacity}",
+                    )
+
+    # -- quiescent tier -----------------------------------------------------
+
+    def _check_topology_matches_oracle(self, report: InvariantReport) -> None:
+        """Converged routing state equals the sorted-membership fixed
+        point: successor/predecessor pointers, successor lists, and
+        every finger entry."""
+        ring = self.system.ring
+        live = list(ring.live_ids)
+        n = len(live)
+        if n == 0:
+            return
+        r = ring.config.successor_list_size
+        for idx, node_id in enumerate(live):
+            node = ring.node(node_id)
+            succ = live[(idx + 1) % n]
+            pred = live[(idx - 1) % n]
+            expected_list = [
+                live[(idx + 1 + j) % n] for j in range(min(r, n - 1))
+            ] or [node_id]
+            if node.successor != succ:
+                self._fail(
+                    report,
+                    "topology_matches_oracle",
+                    f"node {node_id}: successor {node.successor} != {succ}",
+                )
+            if node.predecessor != pred:
+                self._fail(
+                    report,
+                    "topology_matches_oracle",
+                    f"node {node_id}: predecessor {node.predecessor} != {pred}",
+                )
+            if list(node.successor_list) != expected_list:
+                self._fail(
+                    report,
+                    "topology_matches_oracle",
+                    f"node {node_id}: successor list {node.successor_list} "
+                    f"!= {expected_list}",
+                )
+            for i, finger in enumerate(node.fingers):
+                expected = ring.successor_of(ring.space.finger_start(node_id, i))
+                if finger != expected:
+                    self._fail(
+                        report,
+                        "topology_matches_oracle",
+                        f"node {node_id}: finger[{i}]={finger} != {expected}",
+                    )
+                    break  # one stale finger per node is detail enough
+
+    def _live_owner_terms(self) -> List[Tuple[int, str, str]]:
+        """(owner node id, doc id, term) for every posting a currently
+        live owner claims — the ground truth the index must mirror."""
+        ring = self.system.ring
+        claims: List[Tuple[int, str, str]] = []
+        for owner in self.system.owners.values():
+            if not ring.is_live(owner.node_id):
+                continue  # a dead owner's postings are orphans, not claims
+            for doc_id, state in owner.shared.items():
+                for term in state.index_terms:
+                    claims.append((owner.node_id, doc_id, term))
+        return claims
+
+    def _check_term_resolvability(self, report: InvariantReport) -> None:
+        """Every posting a live owner claims is present at the term's
+        responsible peer — in its primary store or, transiently, in a
+        promotable replica it holds for a range it just inherited."""
+        ring = self.system.ring
+        protocol = self.system.protocol
+        for __, doc_id, term in self._live_owner_terms():
+            key = protocol.term_hash(term)
+            node = ring.node(ring.successor_of(key))
+            slot = node.store.get(key)
+            if slot is None:
+                slot = node.replicas.get(key)
+            if not (isinstance(slot, TermSlot) and doc_id in slot.inverted):
+                self._fail(
+                    report,
+                    "term_resolvability",
+                    f"posting ({doc_id!r}, {term!r}) unresolvable at "
+                    f"responsible node {node.node_id}",
+                )
+
+    def _check_owner_agreement(self, report: InvariantReport) -> None:
+        """Every posting held by a primary slot is still claimed by its
+        owner (dead owners exempt — reconciliation never deletes on
+        behalf of an unreachable peer)."""
+        ring = self.system.ring
+        owners = self.system.owners
+        for node_id in ring.live_ids:
+            for slot in ring.node(node_id).store.values():
+                if not isinstance(slot, TermSlot):
+                    continue
+                for doc_id, posting in slot.inverted.items():
+                    owner = owners.get(posting.owner_peer)
+                    if owner is None or not ring.is_live(posting.owner_peer):
+                        continue
+                    state = owner.shared.get(doc_id)
+                    if state is None or slot.term not in state.index_terms:
+                        self._fail(
+                            report,
+                            "owner_agreement",
+                            f"orphan posting ({doc_id!r}, {slot.term!r}) at "
+                            f"node {node_id}: owner {posting.owner_peer} no "
+                            f"longer claims it",
+                        )
+
+    def _check_posting_conservation(self, report: InvariantReport) -> None:
+        """Each (document, term) pair a live owner claims appears exactly
+        once across all live primary stores — no loss (resolvability's
+        concern) and, crucially, no duplication from replica promotion
+        racing republication."""
+        ring = self.system.ring
+        held: Dict[Tuple[str, str], int] = {}
+        for node_id in ring.live_ids:
+            for slot in ring.node(node_id).store.values():
+                if not isinstance(slot, TermSlot):
+                    continue
+                for doc_id in slot.inverted:
+                    pair = (doc_id, slot.term)
+                    held[pair] = held.get(pair, 0) + 1
+        for __, doc_id, term in self._live_owner_terms():
+            copies = held.get((doc_id, term), 0)
+            if copies != 1:
+                self._fail(
+                    report,
+                    "posting_conservation",
+                    f"posting ({doc_id!r}, {term!r}) held {copies} times "
+                    f"across live primaries (expected exactly 1)",
+                )

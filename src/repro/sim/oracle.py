@@ -1,0 +1,211 @@
+"""The differential oracle: SPRITE checked against simpler truths.
+
+Two comparisons, both on a churn-free ring:
+
+* **Perf-path equivalence** — the PR-2 optimizations (route caching,
+  incremental repair, batched fetch with flat-dict scoring) are pure
+  performance work, so rankings must be *bit-identical* to the direct
+  path (no route cache, full-rebuild stabilization, per-term legacy
+  fetch).  The oracle replays the same seeded end-to-end flow through
+  two systems differing only in those switches and compares every
+  ranking exactly — score bits included, because the optimized scoring
+  loop intentionally performs the same floating-point operations in the
+  same order.
+
+* **Centralized baseline** — with learning taken out of the picture by
+  indexing *every* term (F = ∞) and the assumed corpus size pinned to
+  the true corpus size, SPRITE's distributed computation degenerates to
+  exactly the centralized TF-IDF of :mod:`repro.ir` (Lee et al. second
+  method).  Document order must match exactly; scores are compared with
+  ``math.isclose`` since the two implementations accumulate partial
+  sums in different orders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ChordConfig, SpriteConfig
+from ..corpus.corpus import Corpus
+from ..corpus.relevance import Query
+from ..core.system import DistributedSystem, SpriteSystem
+from ..ir.centralized import CentralizedSystem
+from ..ir.ranking import RankedList
+
+
+@dataclass(frozen=True)
+class RankingMismatch:
+    """One query whose rankings diverged between the two sides."""
+
+    query_id: str
+    detail: str
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential comparison."""
+
+    name: str
+    queries_compared: int = 0
+    mismatches: List[RankingMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        verdict = "consistent" if self.ok else f"{len(self.mismatches)} mismatches"
+        return f"oracle[{self.name}]: {self.queries_compared} queries, {verdict}"
+
+
+class FullIndexSystem(DistributedSystem):
+    """SPRITE with F = ∞: every document publishes *all* its terms.
+
+    With a full index and the assumed corpus size pinned to the real
+    one, the indexed document frequency n'_k equals the true document
+    frequency n_k, so the distributed ranking must coincide with
+    centralized TF-IDF — the oracle's reference degeneration.
+    """
+
+    def _first_terms(self, doc_id: str) -> Optional[List[str]]:
+        return sorted(self.corpus.get(doc_id).term_freqs)
+
+
+def _pairs(ranked: RankedList) -> List[Tuple[str, float]]:
+    return [(entry.doc_id, entry.score) for entry in ranked]
+
+
+class DifferentialOracle:
+    """Runs the two comparisons over a corpus + query workload."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        train: Sequence[Query],
+        test: Sequence[Query],
+        num_peers: int = 24,
+        seed: int = 0,
+        top_k: int = 10,
+    ) -> None:
+        self.corpus = corpus
+        self.train = list(train)
+        self.test = list(test)
+        self.num_peers = num_peers
+        self.seed = seed
+        self.top_k = top_k
+
+    # -- construction helpers ---------------------------------------------
+
+    def _chord_config(self, optimized: bool) -> ChordConfig:
+        return ChordConfig(
+            num_peers=self.num_peers,
+            id_bits=32,
+            successor_list_size=4,
+            seed=self.seed + 7,
+            route_cache_size=65536 if optimized else 0,
+            incremental_repair=optimized,
+        )
+
+    def _sprite_config(self) -> SpriteConfig:
+        return SpriteConfig(
+            initial_terms=3,
+            terms_per_iteration=3,
+            learning_iterations=2,
+            max_index_terms=9,
+            query_cache_size=200,
+            assumed_corpus_size=1000,
+            top_k_answers=self.top_k,
+        )
+
+    def _build_sprite(self, optimized: bool) -> SpriteSystem:
+        system = SpriteSystem(
+            self.corpus,
+            sprite_config=self._sprite_config(),
+            chord_config=self._chord_config(optimized),
+        )
+        system.processor.batch_fetch = optimized
+        return system
+
+    # -- comparison 1: optimized vs direct execution paths -----------------
+
+    def check_perf_paths(self) -> OracleReport:
+        """Replay the full seeded flow (share → register training →
+        learn → query) through the optimized and the direct system;
+        every test-query ranking must match bit for bit."""
+        report = OracleReport(name="perf-paths")
+        optimized = self._build_sprite(optimized=True)
+        direct = self._build_sprite(optimized=False)
+        for system in (optimized, direct):
+            system.share_corpus()
+            system.register_queries(self.train)
+            system.run_learning()
+        for query in self.test:
+            # cache=False: comparing execution, not mutating cache state.
+            fast = _pairs(optimized.search(query, cache=False))
+            slow = _pairs(direct.search(query, cache=False))
+            report.queries_compared += 1
+            if fast != slow:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=f"optimized={fast[:3]}... direct={slow[:3]}...",
+                    )
+                )
+        return report
+
+    # -- comparison 2: full-index SPRITE vs centralized TF-IDF ---------------
+
+    def check_centralized_baseline(self) -> OracleReport:
+        """At F = ∞ with the assumed corpus size pinned to the true
+        size, distributed rankings must agree with centralized TF-IDF:
+        identical document order, scores equal to float tolerance."""
+        report = OracleReport(name="centralized-baseline")
+        full = FullIndexSystem(
+            self.corpus,
+            sprite_config=SpriteConfig(
+                initial_terms=1,  # unused: _first_terms overrides selection
+                max_index_terms=10**6,
+                query_cache_size=200,
+                assumed_corpus_size=len(self.corpus),
+                top_k_answers=self.top_k,
+            ),
+            chord_config=self._chord_config(optimized=True),
+        )
+        full.share_corpus()
+        centralized = CentralizedSystem(self.corpus, normalization="lee")
+        for query in self.test:
+            distributed = _pairs(full.search(query, cache=False))
+            reference = _pairs(centralized.search(query, top_k=self.top_k))
+            report.queries_compared += 1
+            if [d for d, __ in distributed] != [d for d, __ in reference]:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=(
+                            f"doc order differs: distributed="
+                            f"{[d for d, __ in distributed][:5]} "
+                            f"centralized={[d for d, __ in reference][:5]}"
+                        ),
+                    )
+                )
+                continue
+            for (doc_id, d_score), (__, c_score) in zip(distributed, reference):
+                if not math.isclose(d_score, c_score, rel_tol=1e-9, abs_tol=1e-12):
+                    report.mismatches.append(
+                        RankingMismatch(
+                            query_id=query.query_id,
+                            detail=(
+                                f"score differs for {doc_id!r}: "
+                                f"{d_score!r} vs {c_score!r}"
+                            ),
+                        )
+                    )
+                    break
+        return report
+
+    def check_all(self) -> Dict[str, OracleReport]:
+        """Both comparisons, keyed by oracle name."""
+        reports = [self.check_perf_paths(), self.check_centralized_baseline()]
+        return {r.name: r for r in reports}

@@ -1,0 +1,1 @@
+"""Tests for repro.sim — the scenario/invariant/oracle harness."""

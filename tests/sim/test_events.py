@@ -1,0 +1,93 @@
+"""The scenario DSL: validation, serialization, generation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import EVENT_KINDS, HEAL_SEQUENCE, Scenario, SimEvent, random_scenario
+from repro.sim import scenario as make_scenario
+
+
+class TestSimEvent:
+    def test_rejects_unknown_kind(self) -> None:
+        with pytest.raises(ValueError):
+            SimEvent(kind="meteor_strike")
+
+    def test_rejects_nonpositive_count(self) -> None:
+        with pytest.raises(ValueError):
+            SimEvent(kind="publish", count=0)
+
+    def test_rejects_negative_duration(self) -> None:
+        with pytest.raises(ValueError):
+            SimEvent(kind="blackout", duration_ms=-1.0)
+
+    def test_dict_round_trip_preserves_fields(self) -> None:
+        event = SimEvent(kind="blackout", duration_ms=250.0, count=2, name="n1")
+        assert SimEvent.from_dict(event.to_dict()) == event
+
+    def test_defaults_omitted_from_dict(self) -> None:
+        assert SimEvent(kind="maintain").to_dict() == {"kind": "maintain"}
+
+
+class TestScenario:
+    def test_shorthand_builder(self) -> None:
+        s = make_scenario(7, ["publish", "crash", "maintain"])
+        assert [e.kind for e in s] == ["publish", "crash", "maintain"]
+        assert s.seed == 7
+
+    def test_kind_counts(self) -> None:
+        s = make_scenario(0, ["query", "query", "crash"])
+        assert s.kind_counts() == {"query": 2, "crash": 1}
+
+    def test_json_round_trip(self, tmp_path) -> None:
+        original = Scenario(
+            seed=11,
+            events=(
+                SimEvent("publish", count=3),
+                SimEvent("join", name="n-1"),
+                SimEvent("blackout", duration_ms=100.0),
+            ),
+            description="round trip",
+        )
+        path = tmp_path / "scenario.json"
+        original.save(path)
+        assert Scenario.load(path) == original
+        # the file is plain JSON a human can edit
+        data = json.loads(path.read_text())
+        assert data["seed"] == 11
+        assert len(data["events"]) == 3
+
+
+class TestRandomScenario:
+    def test_exact_event_count(self) -> None:
+        for n in (10, 57, 200):
+            assert len(random_scenario(seed=3, num_events=n)) == n
+
+    def test_deterministic_for_a_seed(self) -> None:
+        assert random_scenario(seed=5, num_events=80) == random_scenario(
+            seed=5, num_events=80
+        )
+
+    def test_different_seeds_differ(self) -> None:
+        a = random_scenario(seed=1, num_events=80)
+        b = random_scenario(seed=2, num_events=80)
+        assert a.events != b.events
+
+    def test_only_known_kinds(self) -> None:
+        s = random_scenario(seed=9, num_events=150)
+        assert {e.kind for e in s} <= set(EVENT_KINDS)
+
+    def test_starts_with_publish_burst(self) -> None:
+        s = random_scenario(seed=4, num_events=100)
+        assert s.events[0].kind == "publish"
+
+    def test_ends_with_heal_suffix(self) -> None:
+        s = random_scenario(seed=4, num_events=100)
+        tail = [e.kind for e in s.events[-len(HEAL_SEQUENCE) :]]
+        assert tail == list(HEAL_SEQUENCE)
+
+    def test_too_few_events_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            random_scenario(seed=0, num_events=3)

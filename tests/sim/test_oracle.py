@@ -1,0 +1,64 @@
+"""The differential oracle: perf paths and the centralized baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticTrecCorpus
+from repro.sim import DifferentialOracle, FullIndexSystem
+
+
+@pytest.fixture(scope="module")
+def workload(micro_corpus_config):
+    corpus, originals, __ = SyntheticTrecCorpus(micro_corpus_config).build()
+    queries = list(originals)
+    return corpus, queries[:4], queries[4:]
+
+
+@pytest.fixture(scope="module")
+def oracle(workload):
+    corpus, train, test = workload
+    return DifferentialOracle(corpus, train=train, test=test, num_peers=16, seed=0)
+
+
+class TestPerfPaths:
+    def test_optimized_and_direct_rankings_bit_identical(self, oracle) -> None:
+        report = oracle.check_perf_paths()
+        assert report.queries_compared > 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+    def test_builders_differ_only_in_perf_switches(self, oracle) -> None:
+        fast = oracle._build_sprite(optimized=True)
+        slow = oracle._build_sprite(optimized=False)
+        assert fast.ring.config.route_cache_size > 0
+        assert slow.ring.config.route_cache_size == 0
+        assert fast.ring.config.incremental_repair
+        assert not slow.ring.config.incremental_repair
+        assert fast.processor.batch_fetch and not slow.processor.batch_fetch
+        # everything that affects *results* is identical
+        assert fast.config == slow.config
+        assert fast.ring.live_ids == slow.ring.live_ids
+
+
+class TestCentralizedBaseline:
+    def test_full_index_matches_centralized_tfidf(self, oracle) -> None:
+        report = oracle.check_centralized_baseline()
+        assert report.queries_compared > 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+    def test_full_index_system_publishes_every_term(self, workload) -> None:
+        corpus, __, __ = workload
+        doc = next(iter(corpus))
+        system = FullIndexSystem(
+            corpus,
+            sprite_config=DifferentialOracle(corpus, [], [])._sprite_config(),
+        )
+        terms = system._first_terms(doc.doc_id)
+        assert terms == sorted(doc.term_freqs)
+
+
+class TestCheckAll:
+    def test_runs_both_oracles(self, oracle) -> None:
+        reports = oracle.check_all()
+        assert set(reports) == {"perf-paths", "centralized-baseline"}
+        assert all(r.ok for r in reports.values())

@@ -26,7 +26,7 @@ class TestParser:
 
     def test_all_commands_registered(self) -> None:
         parser = build_parser()
-        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate", "net", "perf"):
+        for command in ("info", "fig4a", "fig4b", "fig4c", "cost", "hops", "search", "generate", "net", "perf", "check"):
             args = parser.parse_args(
                 [command, "terms"] if command == "search" else (
                     [command, "out"] if command == "generate" else [command]
@@ -221,3 +221,62 @@ class TestFigures:
         code, output = run_cli("cost", "--small")
         assert code == 0
         assert "index-everything" in output
+
+
+class TestCheck:
+    def test_random_scenario_runs_clean(self) -> None:
+        code, output = run_cli(
+            "check", "--random", "--seed", "0", "--events", "12",
+            "--peers", "12", "--skip-oracle",
+        )
+        assert code == 0
+        assert "random scenario: seed=0, 12 events" in output
+        assert "all invariants held" in output
+
+    def test_oracle_reports_included_by_default(self) -> None:
+        code, output = run_cli(
+            "check", "--random", "--seed", "0", "--events", "8", "--peers", "12"
+        )
+        assert code == 0
+        assert "oracle[perf-paths]" in output
+        assert "oracle[centralized-baseline]" in output
+
+    def test_requires_exactly_one_source(self, tmp_path) -> None:
+        code, output = run_cli("check")
+        assert code == 2
+        assert "exactly one" in output
+        code, output = run_cli(
+            "check", "--random", "--scenario", str(tmp_path / "s.json")
+        )
+        assert code == 2
+
+    def test_unreadable_scenario_is_clean_error(self, tmp_path) -> None:
+        code, output = run_cli("check", "--scenario", str(tmp_path / "nope.json"))
+        assert code == 2
+        assert output.startswith("error: cannot load scenario")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, output = run_cli("check", "--scenario", str(bad))
+        assert code == 2
+        assert "cannot load scenario" in output
+
+    def test_scenario_file_round_trip(self, tmp_path) -> None:
+        from repro.sim import random_scenario
+
+        path = tmp_path / "scenario.json"
+        random_scenario(seed=4, num_events=10).save(path)
+        code, output = run_cli(
+            "check", "--scenario", str(path), "--peers", "12", "--skip-oracle"
+        )
+        assert code == 0
+        assert f"replaying {path}: 10 events" in output
+        assert "all invariants held" in output
+
+    def test_lossy_transport_flags_apply(self) -> None:
+        code, output = run_cli(
+            "check", "--random", "--seed", "1", "--events", "12",
+            "--peers", "12", "--skip-oracle",
+            "--transport", "lossy", "--drop", "0.02",
+        )
+        assert code == 0
+        assert "all invariants held" in output
