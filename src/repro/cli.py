@@ -325,6 +325,8 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
             "the perf workload measures the in-process hot path and only "
             "supports --transport perfect"
         )
+    if args.mode == "topk":
+        return _cmd_perf_topk(args, out)
     cfg = smoke_config() if args.small else paper_scale_config()
     cfg = cfg.replaced(optimized=not args.baseline, seed=args.seed)
     mode = "baseline (optimizations off)" if args.baseline else "optimized"
@@ -361,6 +363,55 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         for name, value in counters.items():
             out.write(f"    {name} = {value}\n")
     return 0
+
+
+def _cmd_perf_topk(args: argparse.Namespace, out) -> int:
+    """Run the four-mode top-k comparison (ISSUE 4) and print it."""
+    import json
+
+    from .perf.topk import (
+        TOP_K,
+        run_topk_comparison,
+        topk_paper_config,
+        topk_smoke_config,
+    )
+
+    cfg = topk_smoke_config() if args.small else topk_paper_config()
+    cfg = cfg.replaced(seed=args.seed)
+    out.write(
+        f"top-k comparison (k={TOP_K}): {cfg.num_peers} peers, "
+        f"{cfg.num_queries} queries, churn every {cfg.churn_every}\n"
+    )
+    comparison = run_topk_comparison(cfg)
+    if args.json:
+        out.write(json.dumps(comparison.to_dict(), indent=2) + "\n")
+        return 0
+    for name in ("legacy", "batched", "topk", "cached"):
+        result = getattr(comparison, name)
+        out.write(
+            f"  {name:<8} {result.queries_per_s:>9.0f} queries/s · "
+            f"query phase {result.query_s:.2f}s · "
+            f"{result.total_messages} messages\n"
+        )
+    out.write(
+        f"  speedup vs legacy: topk ×{comparison.speedup_topk:.2f}, "
+        f"cached ×{comparison.speedup_cached:.2f}\n"
+    )
+    out.write(
+        f"  speedup vs batched: topk ×{comparison.speedup_topk_vs_batched:.2f}, "
+        f"cached ×{comparison.speedup_cached_vs_batched:.2f}\n"
+    )
+    if comparison.cached.result_cache:
+        rc = comparison.cached.result_cache
+        out.write(
+            f"  result cache: {rc['hits']} hits / {rc['misses']} misses, "
+            f"{rc['entries']} entries\n"
+        )
+    out.write(
+        "  ranking checksums "
+        + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
+    )
+    return 0 if comparison.checksums_match else 1
 
 
 def cmd_check(args: argparse.Namespace, out) -> int:
@@ -480,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the optimization layer (route cache, incremental "
         "repair, batched fetch) to measure the legacy paths",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("e2e", "topk"),
+        default="e2e",
+        help="e2e: one workload run; topk: the four-mode top-k comparison "
+        "(legacy / batched / early-termination / result-cached)",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     p.set_defaults(handler=cmd_perf)

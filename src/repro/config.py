@@ -121,6 +121,19 @@ class SpriteConfig:
     query_cache_size: int = 2000           # recent queries kept per indexing peer
     assumed_corpus_size: int = 1_000_000   # the "sufficiently large N"
     top_k_answers: int = 20                # answers returned per query
+    #: Columnar posting storage at indexing peers (False = the retained
+    #: dict-backed legacy slots).  Both backends enumerate postings in
+    #: the same order, so rankings are identical either way.
+    columnar_postings: bool = True
+    #: Exact max-score early termination for bounded-top-k queries.
+    #: Returned documents, scores, and order are identical to the
+    #: exhaustive path — this only skips provably hopeless scoring work.
+    early_termination: bool = True
+    #: Per-indexing-peer query-result cache capacity; 0 (the default)
+    #: disables result caching.  Opt-in because serving a repeated query
+    #: from a cached result changes the *message* profile the cost
+    #: figures measure, even though the rankings stay identical.
+    result_cache_size: int = 0
 
     def __post_init__(self) -> None:
         _require(self.initial_terms >= 1, "initial_terms must be >= 1")
@@ -133,6 +146,7 @@ class SpriteConfig:
         _require(self.query_cache_size >= 1, "query_cache_size must be >= 1")
         _require(self.assumed_corpus_size >= 1, "assumed_corpus_size must be >= 1")
         _require(self.top_k_answers >= 1, "top_k_answers must be >= 1")
+        _require(self.result_cache_size >= 0, "result_cache_size must be >= 0")
 
     @property
     def total_terms_after_learning(self) -> int:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from typing import Callable, FrozenSet, Set
+
 from ..dht.messages import (
     Message,
     MessageKind,
@@ -30,12 +32,62 @@ from ..dht.messages import (
     postings_message,
     publish_message,
     query_batch_message,
+    result_probe_message,
+    result_store_message,
+    result_value_message,
     search_message,
+    version_probe_message,
+    version_value_message,
 )
 from ..dht.ring import ChordRing
 from ..exceptions import NodeFailedError
+from ..ir.ranking import RankedList
 from ..perf import PROFILE
-from .metadata import CachedQuery, PostingEntry, QueryCache, TermSlot
+from .metadata import (
+    CachedQuery,
+    CachedResult,
+    PostingEntry,
+    QueryCache,
+    QueryResultCache,
+    TermSlot,
+)
+
+
+class SlotView:
+    """Read view of one fetched term slot, as consumed by the
+    early-termination scorer: the postings plus the slot aggregates
+    (indexed df, max-impact bound, content version).
+
+    ``entries()``/``impact_rows()`` delegate to the slot's per-version
+    cached views, so the impact sort of a hot term is paid once per
+    slot *mutation*, not once per query.  A ``None`` slot (unindexed
+    term) yields the same empty shape :meth:`fetch_postings` reports.
+    """
+
+    __slots__ = ("term", "indexed_df", "max_impact", "version", "_slot")
+
+    def __init__(self, term: str, slot: Optional[TermSlot]) -> None:
+        self.term = term
+        self._slot = slot
+        if slot is None:
+            self.indexed_df = 0
+            self.max_impact = 0.0
+            self.version = 0
+        else:
+            self.indexed_df = slot.indexed_document_frequency
+            self.max_impact = slot.max_impact
+            self.version = slot.version
+
+    def entries(self) -> List[PostingEntry]:
+        return self._slot.entries() if self._slot is not None else []
+
+    def impact_rows(self):
+        return self._slot.impact_rows() if self._slot is not None else []
+
+    def scoring_lookup(self, doc_id: str):
+        return (
+            self._slot.scoring_lookup(doc_id) if self._slot is not None else None
+        )
 
 
 class IndexingProtocol:
@@ -48,22 +100,38 @@ class IndexingProtocol:
     query_cache_size:
         Capacity of each term slot's recent-query cache (Section 3:
         indexing peers keep only the most recent queries).
+    columnar_postings:
+        Backend for newly created term slots: the columnar store
+        (default) or the retained legacy dict store.
+    result_cache_size:
+        Capacity of each indexing peer's query-result cache; 0 disables
+        result caching entirely (no probe/store traffic).
     """
 
-    def __init__(self, ring: ChordRing, query_cache_size: int = 2000) -> None:
+    def __init__(
+        self,
+        ring: ChordRing,
+        query_cache_size: int = 2000,
+        columnar_postings: bool = True,
+        result_cache_size: int = 0,
+    ) -> None:
         self.ring = ring
         self.query_cache_size = query_cache_size
-        self._hash_cache: Dict[str, int] = {}
+        self.columnar_postings = columnar_postings
+        self.result_cache_size = result_cache_size
+        self._result_caches: Dict[int, QueryResultCache] = {}
 
     # -- hashing ------------------------------------------------------------
 
     def term_hash(self, term: str) -> int:
-        """Ring position of a term (MD5, memoized)."""
-        h = self._hash_cache.get(term)
-        if h is None:
-            h = self.ring.space.hash_key(term)
-            self._hash_cache[term] = h
-        return h
+        """Ring position of a term.
+
+        Delegates straight to the id space: :func:`repro.dht.hashing.
+        md5_hash` is already ``lru_cache``-memoized, so a second
+        per-protocol memo dict (the seed's ``_hash_cache``) would only
+        duplicate state.
+        """
+        return self.ring.space.hash_key(term)
 
     def query_hash(self, terms: Sequence[str]) -> int:
         """Ring position of a whole query (its canonical keyword string);
@@ -86,7 +154,11 @@ class IndexingProtocol:
         # key transfers (joins) migrate it instead of stranding it.
         slot = node.adopt(self.term_hash(term))
         if slot is None and create:
-            slot = TermSlot(term=term, cache=QueryCache(self.query_cache_size))
+            slot = TermSlot(
+                term=term,
+                cache=QueryCache(self.query_cache_size),
+                columnar=self.columnar_postings,
+            )
             node.put(self.term_hash(term), slot)
         return slot, result.node_id, result.hops  # type: ignore[return-value]
 
@@ -128,7 +200,7 @@ class IndexingProtocol:
             if succ_id == node_id or not self.ring.is_live(succ_id):
                 continue
             replica = self.ring.node(succ_id).replicas.get(key)
-            if isinstance(replica, TermSlot) and doc_id in replica.inverted:
+            if isinstance(replica, TermSlot) and replica.has_posting(doc_id):
                 replica.remove_posting(doc_id)
                 try:
                     self.ring.send(
@@ -153,17 +225,37 @@ class IndexingProtocol:
         responsible for the query's own terms.  Returns the number of
         peers that cached it.
         """
+        cached_at, __, __ = self.register_query_observing(issuer_id, terms)
+        return cached_at
+
+    def register_query_observing(
+        self, issuer_id: int, terms: Tuple[str, ...]
+    ) -> Tuple[int, Dict[str, int], Set[str]]:
+        """:meth:`register_query`, additionally reporting what the
+        registration round observed: every reachable term's current slot
+        version and the set of unreachable terms.
+
+        Registration already routes to the indexing peer of *each* query
+        term, so the version snapshot the result cache needs to validate
+        an entry rides along at zero additional message cost.  Returns
+        ``(peers that cached the query, term -> slot version,
+        unreachable terms)``.
+        """
         qhash = self.query_hash(terms)
         cached_at = 0
+        versions: Dict[str, int] = {}
+        failed: Set[str] = set()
         for term in terms:
             try:
                 slot, __, __ = self._locate_slot(issuer_id, term, create=True)
             except NodeFailedError:
+                failed.add(term)
                 continue
             assert slot is not None
             slot.cache.add(terms, qhash)
+            versions[term] = slot.version
             cached_at += 1
-        return cached_at
+        return cached_at, versions, failed
 
     # -- search (querying peer → indexing peer) ---------------------------------
 
@@ -183,7 +275,7 @@ class IndexingProtocol:
         if slot is None:
             self.ring.send(postings_message(node_id, issuer_id, 0))
             return [], 0
-        postings = list(slot.inverted.values())
+        postings = slot.entries()
         self.ring.send(postings_message(node_id, issuer_id, len(postings)))
         return postings, slot.indexed_document_frequency
 
@@ -208,6 +300,43 @@ class IndexingProtocol:
         or a lost batch message taking down every term of that peer
         (Section 7 degradation either way).
         """
+        def extract(term: str, slot: Optional[TermSlot]):
+            if slot is None:
+                return ([], 0), 0
+            postings = slot.entries()
+            return (postings, slot.indexed_document_frequency), len(postings)
+
+        return self._fetch_batch(issuer_id, terms, extract)
+
+    def fetch_slot_views(
+        self, issuer_id: int, terms: Sequence[str]
+    ) -> Tuple[Dict[str, SlotView], List[str]]:
+        """Like :meth:`fetch_postings_batch`, but each reachable term
+        resolves to a :class:`SlotView` carrying the slot aggregates
+        (indexed df, max-impact bound, version) beside the postings —
+        the inputs of the early-termination scorer and the result cache.
+
+        Sends *exactly* the same messages as :meth:`fetch_postings_batch`
+        (same kinds, sizes, and hops — both share one batching core), so
+        the two execution paths are indistinguishable to NetworkStats.
+        """
+        def extract(term: str, slot: Optional[TermSlot]):
+            view = SlotView(term, slot)
+            return view, view.indexed_df
+
+        return self._fetch_batch(issuer_id, terms, extract)
+
+    def _fetch_batch(
+        self,
+        issuer_id: int,
+        terms: Sequence[str],
+        extract: Callable[[str, Optional[TermSlot]], Tuple[object, int]],
+    ):
+        """Shared batching core: route each distinct term, group terms by
+        responsible peer, and exchange one SEARCH_TERM / POSTINGS message
+        pair per peer.  ``extract(term, slot)`` produces ``(payload,
+        posting count)`` per term; the count sizes the POSTINGS reply so
+        every payload shape reports identical wire cost."""
         located: Dict[str, Tuple[int, int]] = {}
         peer_terms: Dict[int, List[str]] = {}
         failed: List[str] = []
@@ -222,7 +351,7 @@ class IndexingProtocol:
             located[term] = (result.node_id, result.hops)
             peer_terms.setdefault(result.node_id, []).append(term)
 
-        results: Dict[str, Tuple[List[PostingEntry], int]] = {}
+        results: Dict[str, object] = {}
         for node_id, batch in peer_terms.items():
             hops = max(located[t][1] for t in batch) + 1
             try:
@@ -240,15 +369,12 @@ class IndexingProtocol:
                 continue
             node = self.ring.node(node_id)
             total_postings = 0
-            batch_results: Dict[str, Tuple[List[PostingEntry], int]] = {}
+            batch_results: Dict[str, object] = {}
             for term in batch:
                 slot = node.adopt(self.term_hash(term))
-                if slot is None:
-                    batch_results[term] = ([], 0)
-                    continue
-                postings = list(slot.inverted.values())
-                total_postings += len(postings)
-                batch_results[term] = (postings, slot.indexed_document_frequency)
+                payload, num_postings = extract(term, slot)
+                total_postings += num_postings
+                batch_results[term] = payload
             try:
                 self.ring.send(postings_message(node_id, issuer_id, total_postings))
             except NodeFailedError:
@@ -259,6 +385,172 @@ class IndexingProtocol:
             PROFILE.count("fetch.batches", len(peer_terms))
             PROFILE.count("fetch.batched_terms", len(located))
         return results, failed
+
+    # -- slot-version probes (querying peer → indexing peers) -----------------
+
+    def probe_slot_versions(
+        self, issuer_id: int, terms: Sequence[str]
+    ) -> Tuple[Dict[str, int], Set[str]]:
+        """Current slot version of every query term, batched per
+        responsible peer (one VERSION_PROBE / VERSION_VALUE pair each).
+
+        The result cache's validity input for queries executed *without*
+        registration — registered queries get the versions for free via
+        :meth:`register_query_observing`.  Unindexed terms report
+        version 0; unreachable terms land in the failed set.
+        """
+        located: Dict[str, Tuple[int, int]] = {}
+        peer_terms: Dict[int, List[str]] = {}
+        failed: Set[str] = set()
+        for term in dict.fromkeys(terms):
+            try:
+                result = self.ring.lookup(issuer_id, self.term_hash(term))
+                if not self.ring.node(result.node_id).alive:
+                    raise NodeFailedError(result.node_id)
+            except NodeFailedError:
+                failed.add(term)
+                continue
+            located[term] = (result.node_id, result.hops)
+            peer_terms.setdefault(result.node_id, []).append(term)
+
+        versions: Dict[str, int] = {}
+        for node_id, batch in peer_terms.items():
+            hops = max(located[t][1] for t in batch) + 1
+            try:
+                self.ring.send(
+                    version_probe_message(issuer_id, node_id, len(batch), hops)
+                )
+            except NodeFailedError:
+                failed.update(batch)
+                continue
+            node = self.ring.node(node_id)
+            batch_versions = {}
+            for term in batch:
+                slot = node.adopt(self.term_hash(term))
+                batch_versions[term] = slot.version if slot is not None else 0
+            try:
+                self.ring.send(version_value_message(node_id, issuer_id, len(batch)))
+            except NodeFailedError:
+                failed.update(batch)
+                continue
+            versions.update(batch_versions)
+        return versions, failed
+
+    # -- query-result cache (querying peer ↔ result-home peer) ----------------
+
+    def result_cache_stats(self) -> Tuple[int, int, int]:
+        """(entries, hits, misses) aggregated over all peers' caches."""
+        entries = sum(len(c) for c in self._result_caches.values())
+        hits = sum(c.hits for c in self._result_caches.values())
+        misses = sum(c.misses for c in self._result_caches.values())
+        return entries, hits, misses
+
+    def _result_home(self, issuer_id: int, qhash: int) -> Tuple[int, int]:
+        """Route to the peer responsible for a query's canonical hash —
+        the deterministic home of its cached result."""
+        result = self.ring.lookup(issuer_id, qhash)
+        if not self.ring.node(result.node_id).alive:
+            raise NodeFailedError(result.node_id)
+        return result.node_id, result.hops
+
+    def probe_result(
+        self,
+        issuer_id: int,
+        terms: Tuple[str, ...],
+        top_k: int,
+        slot_versions: Dict[str, int],
+        failed_terms: FrozenSet[str],
+    ) -> Optional[RankedList]:
+        """Ask the query's result-home peer for a still-valid cached
+        result; ``None`` on miss, staleness, or an unreachable home.
+
+        A stale entry for the *same* keyword tuple is dropped on sight
+        (slot versions are monotone, so it can never validate again);
+        an entry disagreeing only on the keyword tuple — a canonical-hash
+        collision or a reordered query — is left in place.
+        """
+        if self.result_cache_size <= 0:
+            return None
+        qhash = self.query_hash(terms)
+        try:
+            node_id, hops = self._result_home(issuer_id, qhash)
+            self.ring.send(result_probe_message(issuer_id, node_id, hops + 1))
+        except NodeFailedError:
+            return None
+        cache = self._result_caches.get(node_id)
+        if cache is None:
+            # Allocate on first probe so every probe is accounted as a
+            # hit or a miss, even before the home stores anything.
+            cache = self._result_caches[node_id] = QueryResultCache(
+                self.result_cache_size
+            )
+        entry = cache.get(qhash)
+        served: Optional[RankedList] = None
+        if entry is not None:
+            if entry.matches(terms, top_k, slot_versions, failed_terms):
+                served = entry.ranked.truncate(top_k)
+            elif entry.terms == tuple(terms):
+                cache.invalidate(qhash)
+                if PROFILE.enabled:
+                    PROFILE.count("rcache.invalidated")
+        if served is not None:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+        try:
+            self.ring.send(
+                result_value_message(
+                    node_id, issuer_id, len(served) if served is not None else 0
+                )
+            )
+        except NodeFailedError:
+            return None
+        if PROFILE.enabled:
+            PROFILE.count("rcache.hit" if served is not None else "rcache.miss")
+        return served
+
+    def store_result(
+        self,
+        issuer_id: int,
+        terms: Tuple[str, ...],
+        top_k: int,
+        slot_versions: Dict[str, int],
+        failed_terms: FrozenSet[str],
+        ranked: RankedList,
+    ) -> bool:
+        """Install a freshly scored result at the query's home peer;
+        True when stored (False when caching is off or the home peer is
+        unreachable)."""
+        if self.result_cache_size <= 0:
+            return False
+        qhash = self.query_hash(terms)
+        try:
+            node_id, hops = self._result_home(issuer_id, qhash)
+            self.ring.send(
+                result_store_message(
+                    issuer_id, node_id, len(ranked), len(slot_versions), hops + 1
+                )
+            )
+        except NodeFailedError:
+            return False
+        cache = self._result_caches.get(node_id)
+        if cache is None:
+            cache = self._result_caches[node_id] = QueryResultCache(
+                self.result_cache_size
+            )
+        cache.put(
+            qhash,
+            CachedResult(
+                terms=tuple(terms),
+                top_k=top_k,
+                slot_versions=dict(slot_versions),
+                failed_terms=frozenset(failed_terms),
+                ranked=ranked,
+            ),
+        )
+        if PROFILE.enabled:
+            PROFILE.count("rcache.stored")
+        return True
 
     # -- learning poll (owner → indexing peer) ------------------------------------
 

@@ -121,7 +121,7 @@ class MaintenanceDaemon:
                     slot = node.adopt(key)
                     if (
                         isinstance(slot, TermSlot)
-                        and doc_id in slot.inverted
+                        and slot.has_posting(doc_id)
                     ):
                         report.postings_intact += 1
                         continue
@@ -154,8 +154,8 @@ class MaintenanceDaemon:
             for key, slot in list(node.store.items()):
                 if not isinstance(slot, TermSlot):
                     continue
-                for doc_id in list(slot.inverted):
-                    posting = slot.inverted[doc_id]
+                for posting in list(slot.entries()):
+                    doc_id = posting.doc_id
                     owner = owners.get(posting.owner_peer)
                     if owner is None or not ring.is_live(posting.owner_peer):
                         continue

@@ -18,9 +18,12 @@ Owner-peer state, per term of a shared document:
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from ..ir.postings import ColumnarPostings, ImpactRow, LegacyPostings
+from ..ir.ranking import RankedList
 
 
 @dataclass(frozen=True)
@@ -107,27 +110,218 @@ class QueryCache:
         return iter(self._entries)
 
 
-@dataclass
 class TermSlot:
     """Everything an indexing peer holds for one term: the inverted list
     plus the query cache.  Stored under the term's ring hash in the DHT,
-    so replication and key migration move it as a unit."""
+    so replication and key migration move it as a unit.
 
-    term: str
-    inverted: Dict[str, PostingEntry] = field(default_factory=dict)
-    cache: QueryCache = field(default_factory=lambda: QueryCache(capacity=2000))
+    Postings live in a pluggable column store (:mod:`repro.ir.postings`):
+    the columnar backend by default, the retained dict-backed legacy
+    backend when ``columnar=False``.  Both enumerate postings in
+    identical (insertion) order and maintain the slot aggregates the
+    optimized query path consumes — indexed document frequency, the
+    max-impact upper bound, and a globally-unique content *version*
+    bumped on every publish/unpublish (the query-result cache's
+    invalidation signal).
+
+    Mutation must go through :meth:`add_posting`/:meth:`remove_posting`;
+    :attr:`inverted` is a read-only materialized view kept for
+    compatibility with the seed's dict-of-entries layout.
+    """
+
+    def __init__(
+        self,
+        term: str,
+        cache: Optional[QueryCache] = None,
+        columnar: bool = True,
+        doc_table=None,
+    ) -> None:
+        self.term = term
+        self.cache = cache if cache is not None else QueryCache(capacity=2000)
+        self._store = ColumnarPostings(doc_table) if columnar else LegacyPostings()
+        self._view_version = -1
+        self._entries_view: List[PostingEntry] = []
+        self._inverted_view: Dict[str, PostingEntry] = {}
+        self._impact_version = -1
+        self._impact_view: List[ImpactRow] = []
+
+    # -- aggregates ---------------------------------------------------------
 
     @property
     def indexed_document_frequency(self) -> int:
         """n'_k — the paper's surrogate for document frequency: the
         number of documents that chose this term as a global index term."""
-        return len(self.inverted)
+        return len(self._store)
+
+    @property
+    def version(self) -> int:
+        """Globally-unique version of the inverted list's content."""
+        return self._store.version
+
+    @property
+    def max_impact(self) -> float:
+        """Upper bound on any posting's ``ntf / sqrt(len)`` impact."""
+        return self._store.max_impact
+
+    @property
+    def columnar(self) -> bool:
+        """Whether the columnar backend is in use."""
+        return isinstance(self._store, ColumnarPostings)
+
+    # -- mutation -----------------------------------------------------------
 
     def add_posting(self, entry: PostingEntry) -> None:
-        self.inverted[entry.doc_id] = entry
+        self._store.add(
+            entry.doc_id, entry.owner_peer, entry.raw_tf, entry.doc_length
+        )
 
     def remove_posting(self, doc_id: str) -> Optional[PostingEntry]:
-        return self.inverted.pop(doc_id, None)
+        row = self._store.remove(doc_id)
+        if row is None:
+            return None
+        return PostingEntry(
+            doc_id=row[0], owner_peer=row[1], raw_tf=row[2], doc_length=row[3]
+        )
+
+    # -- reads --------------------------------------------------------------
+
+    def has_posting(self, doc_id: str) -> bool:
+        """Membership test without materializing the entry view."""
+        return doc_id in self._store
+
+    def get_posting(self, doc_id: str) -> Optional[PostingEntry]:
+        """One posting without materializing the entry view."""
+        row = self._store.lookup(doc_id)
+        if row is None:
+            return None
+        return PostingEntry(
+            doc_id=row[0], owner_peer=row[1], raw_tf=row[2], doc_length=row[3]
+        )
+
+    def scoring_lookup(self, doc_id: str) -> Optional[Tuple[float, int]]:
+        """``(normalized_tf, doc_length)`` for one document, or ``None``
+        — exactly the values its :class:`PostingEntry` would report."""
+        return self._store.scoring_lookup(doc_id)
+
+    def entries(self) -> List[PostingEntry]:
+        """All postings in publish order, as a cached materialized list
+        (rebuilt only when the slot's version has moved).  Callers must
+        not mutate the returned list."""
+        self._refresh_views()
+        return self._entries_view
+
+    def impact_rows(self) -> List[ImpactRow]:
+        """Scoring rows ``(doc_id, ntf, length, impact)`` sorted by
+        descending impact with doc-id tie-break; cached per version."""
+        version = self._store.version
+        if version != self._impact_version:
+            self._impact_view = self._store.impact_rows()
+            self._impact_version = version
+        return self._impact_view
+
+    @property
+    def inverted(self) -> Dict[str, PostingEntry]:
+        """Compatibility view of the postings as ``doc_id -> entry``.
+
+        Materialized lazily and cached per slot version, so repeated
+        read access stays O(1); treat it as read-only — writes would
+        bypass the aggregate/version maintenance.
+        """
+        self._refresh_views()
+        return self._inverted_view
+
+    def _refresh_views(self) -> None:
+        version = self._store.version
+        if version == self._view_version:
+            return
+        self._entries_view = [
+            PostingEntry(doc_id=d, owner_peer=o, raw_tf=t, doc_length=l)
+            for d, o, t, l in self._store.rows()
+        ]
+        self._inverted_view = {e.doc_id: e for e in self._entries_view}
+        self._view_version = version
+
+
+@dataclass
+class CachedResult:
+    """One fully-scored query result held at an indexing peer.
+
+    ``terms`` is the *exact ordered* keyword tuple the result was scored
+    for — queries with the same keyword set but a different order share
+    a canonical hash yet accumulate floating-point contributions in a
+    different order, so a hit requires tuple equality, not set equality.
+    ``slot_versions`` snapshots every query term's slot version at
+    scoring time (0 for terms with no slot); because slot versions are
+    globally unique, version equality proves the postings are unchanged.
+    ``failed_terms`` records which terms were dropped to unreachable
+    peers — a result computed under a partial failure must not be served
+    once the peers recover (or vice versa).
+    """
+
+    terms: Tuple[str, ...]
+    top_k: int
+    slot_versions: Dict[str, int]
+    failed_terms: FrozenSet[str]
+    ranked: RankedList
+
+    def matches(
+        self,
+        terms: Tuple[str, ...],
+        top_k: int,
+        slot_versions: Mapping[str, int],
+        failed_terms: FrozenSet[str],
+    ) -> bool:
+        """Whether this entry can answer the given request exactly."""
+        return (
+            self.terms == tuple(terms)
+            and self.top_k >= top_k
+            and self.slot_versions == dict(slot_versions)
+            and self.failed_terms == failed_terms
+        )
+
+
+class QueryResultCache:
+    """Bounded LRU of scored query results, one per indexing peer.
+
+    Keyed by the canonical query hash of Section 3 (already used for
+    cached-query deduplication), so the cache for a query lives at a
+    deterministic ring position any querying peer can route to.  Entries
+    are validated — not eagerly invalidated — via the per-slot version
+    counters snapshotted in :class:`CachedResult`: a publish, unpublish,
+    or learning replacement bumps the term slot's version, and the next
+    probe sees the mismatch and discards the entry.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, query_hash: int) -> Optional[CachedResult]:
+        """The entry under *query_hash* (refreshing its recency), or
+        ``None``.  Validity checking is the caller's job — the cache
+        cannot see current slot versions."""
+        entry = self._entries.get(query_hash)
+        if entry is not None:
+            self._entries.move_to_end(query_hash)
+        return entry
+
+    def put(self, query_hash: int, entry: CachedResult) -> None:
+        """Insert/replace the entry, evicting the least recently used."""
+        self._entries[query_hash] = entry
+        self._entries.move_to_end(query_hash)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, query_hash: int) -> bool:
+        """Drop a stale entry; True if it existed."""
+        return self._entries.pop(query_hash, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass

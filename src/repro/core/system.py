@@ -62,10 +62,16 @@ class DistributedSystem:
             ring if ring is not None else ChordRing(chord_config, transport=transport)
         )
         self.protocol = IndexingProtocol(
-            self.ring, query_cache_size=self.config.query_cache_size
+            self.ring,
+            query_cache_size=self.config.query_cache_size,
+            columnar_postings=getattr(self.config, "columnar_postings", True),
+            result_cache_size=getattr(self.config, "result_cache_size", 0),
         )
         self.processor = QueryProcessor(
-            self.protocol, assumed_corpus_size=self.config.assumed_corpus_size
+            self.protocol,
+            assumed_corpus_size=self.config.assumed_corpus_size,
+            early_termination=getattr(self.config, "early_termination", True),
+            result_cache=getattr(self.config, "result_cache_size", 0) > 0,
         )
         self.owners: Dict[int, OwnerPeer] = {}
         self._doc_owner: Dict[str, int] = {}

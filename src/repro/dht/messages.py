@@ -30,6 +30,11 @@ class MessageKind(Enum):
     HEARTBEAT = "heartbeat"                 # liveness probe
     RECONCILE = "reconcile"                 # indexing peer ↔ owner: posting audit
     ADVISE_HOT_TERM = "advise_hot_term"     # §7 load-balance advice
+    RESULT_PROBE = "result_probe"           # querying peer → result home: cached result?
+    RESULT_VALUE = "result_value"           # result home → querying peer: hit/miss reply
+    RESULT_STORE = "result_store"           # querying peer → result home: store result
+    VERSION_PROBE = "version_probe"         # querying peer → indexing peer: slot versions?
+    VERSION_VALUE = "version_value"         # indexing peer → querying peer: version reply
 
 
 #: Abstract size constants (bytes) used by the cost model.
@@ -37,6 +42,8 @@ TERM_BYTES = 8
 POSTING_BYTES = 24
 QUERY_HEADER_BYTES = 16
 ADDRESS_BYTES = 6
+RESULT_ENTRY_BYTES = 16
+VERSION_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,64 @@ def query_batch_message(src: int, dst: int, num_queries: int, terms_per_query: f
         dst=dst,
         size_bytes=QUERY_HEADER_BYTES
         + int(num_queries * (QUERY_HEADER_BYTES + terms_per_query * TERM_BYTES)),
+    )
+
+
+def result_probe_message(src: int, dst: int, hops: int) -> Message:
+    """A result-cache probe (one canonical query hash)."""
+    return Message(
+        kind=MessageKind.RESULT_PROBE,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES,
+        hops=hops,
+    )
+
+
+def result_value_message(src: int, dst: int, num_entries: int) -> Message:
+    """The cached-result reply: the ranked entries on a hit, empty on a
+    miss (``num_entries=0``)."""
+    return Message(
+        kind=MessageKind.RESULT_VALUE,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_entries * RESULT_ENTRY_BYTES,
+    )
+
+
+def result_store_message(
+    src: int, dst: int, num_entries: int, num_versions: int, hops: int
+) -> Message:
+    """Install a scored result (ranked entries + validity metadata)."""
+    return Message(
+        kind=MessageKind.RESULT_STORE,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES
+        + num_entries * RESULT_ENTRY_BYTES
+        + num_versions * (TERM_BYTES + VERSION_BYTES),
+        hops=hops,
+    )
+
+
+def version_probe_message(src: int, dst: int, num_terms: int, hops: int) -> Message:
+    """Ask an indexing peer for the current versions of its term slots."""
+    return Message(
+        kind=MessageKind.VERSION_PROBE,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_terms * TERM_BYTES,
+        hops=hops,
+    )
+
+
+def version_value_message(src: int, dst: int, num_terms: int) -> Message:
+    """The version reply for a batch of term slots."""
+    return Message(
+        kind=MessageKind.VERSION_VALUE,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_terms * VERSION_BYTES,
     )
 
 

@@ -178,9 +178,9 @@ class HotTermCache:
             if not partners:
                 continue
             slot = self.protocol.slot_snapshot(term)
-            if slot is None or not slot.inverted:
+            if slot is None or slot.indexed_document_frequency == 0:
                 continue
-            postings = list(slot.inverted.values())
+            postings = list(slot.entries())
             self._caches[term] = (postings, slot.indexed_document_frequency)
             partner = partners.most_common(1)[0][0]
             self.protocol.ring.send(

@@ -3,6 +3,12 @@
 from .bm25 import BM25System
 from .centralized import CentralizedSystem
 from .inverted_index import InvertedIndex, Posting
+from .postings import (
+    ColumnarPostings,
+    DocTable,
+    LegacyPostings,
+    posting_impact,
+)
 from .ranking import RankedList, ScoredDoc
 from .similarity import (
     consolidate,
@@ -15,8 +21,12 @@ from .weighting import TfIdfWeighting, idf, tf_idf
 __all__ = [
     "BM25System",
     "CentralizedSystem",
+    "ColumnarPostings",
+    "DocTable",
     "InvertedIndex",
+    "LegacyPostings",
     "Posting",
+    "posting_impact",
     "RankedList",
     "ScoredDoc",
     "TfIdfWeighting",

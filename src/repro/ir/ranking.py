@@ -8,8 +8,15 @@ evaluation metrics all consume it.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Sequence, Set, Tuple
+
+
+def _rank_key(kv: Tuple[str, float]) -> Tuple[float, str]:
+    """Sort key realizing the canonical order: descending score,
+    ascending doc id."""
+    return (-kv[1], kv[0])
 
 
 @dataclass(frozen=True)
@@ -30,11 +37,34 @@ class RankedList:
 
     def __init__(self, scored: Mapping[str, float] | Sequence[Tuple[str, float]]) -> None:
         items = scored.items() if isinstance(scored, Mapping) else scored
-        ordered = sorted(items, key=lambda kv: (-kv[1], kv[0]))
+        ordered = sorted(items, key=_rank_key)
         self._entries: List[ScoredDoc] = [ScoredDoc(d, s) for d, s in ordered]
         self._rank_of: Dict[str, int] = {
             e.doc_id: i for i, e in enumerate(self._entries)
         }
+
+    @classmethod
+    def _from_ordered(cls, ordered: Sequence[Tuple[str, float]]) -> "RankedList":
+        """Construct from pairs already in canonical order (no re-sort)."""
+        ranked = cls.__new__(cls)
+        ranked._entries = [ScoredDoc(d, s) for d, s in ordered]
+        ranked._rank_of = {e.doc_id: i for i, e in enumerate(ranked._entries)}
+        return ranked
+
+    @classmethod
+    def top_k(
+        cls, scored: Mapping[str, float] | Sequence[Tuple[str, float]], k: int
+    ) -> "RankedList":
+        """The best *k* entries selected with a bounded heap instead of a
+        full sort — O(n log k) versus O(n log n).
+
+        ``heapq.nsmallest`` under the canonical ``(-score, doc_id)`` key
+        is documented to equal ``sorted(...)[:k]``, so the result —
+        including tie-broken order — is identical to
+        ``RankedList(scored).truncate(k)``.
+        """
+        items = scored.items() if isinstance(scored, Mapping) else scored
+        return cls._from_ordered(heapq.nsmallest(k, items, key=_rank_key))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,7 +85,9 @@ class RankedList:
 
     def truncate(self, k: int) -> "RankedList":
         """A new ranked list containing only the best *k* entries."""
-        return RankedList([(e.doc_id, e.score) for e in self._entries[:k]])
+        return RankedList._from_ordered(
+            [(e.doc_id, e.score) for e in self._entries[:k]]
+        )
 
     def rank_of(self, doc_id: str) -> int:
         """0-based rank of *doc_id*, or -1 if not ranked."""

@@ -8,11 +8,15 @@ Three cooperating pieces:
   cache :class:`ChordRing` consults before multi-hop routing;
 * :mod:`repro.perf.bench` — the tracked end-to-end workload
   (publish + Zipf query stream + churn) behind
-  ``benchmarks/test_bench_perf.py`` and the ``perf`` CLI subcommand.
+  ``benchmarks/test_bench_perf.py`` and the ``perf`` CLI subcommand;
+* :mod:`repro.perf.topk` — the ISSUE 4 three-mode top-k comparison
+  (exhaustive vs early-termination vs early-termination + result cache)
+  behind ``benchmarks/test_bench_topk.py`` and ``perf --mode topk``.
 
-``bench`` is deliberately *not* imported here: it builds rings and query
-processors, and the ring itself imports this package for ``PROFILE`` /
-``RouteCache`` — import it explicitly as ``repro.perf.bench``.
+``bench`` and ``topk`` are deliberately *not* imported here: they build
+rings and query processors, and the ring itself imports this package for
+``PROFILE`` / ``RouteCache`` — import them explicitly as
+``repro.perf.bench`` / ``repro.perf.topk``.
 """
 
 from .profile import PROFILE, PerfProfile

@@ -57,6 +57,11 @@ class PerfWorkloadConfig:
     zipf_exponent: float = 0.8
     seed: int = 4111
     optimized: bool = True
+    #: Exact max-score early termination (ISSUE 4); only meaningful with
+    #: ``optimized=True`` (the legacy path has no bounded-top-k mode).
+    early_termination: bool = True
+    #: Per-indexing-peer query-result cache capacity (0 = off).
+    result_cache_size: int = 0
 
     def replaced(self, **kwargs) -> "PerfWorkloadConfig":
         merged = {**asdict(self), **kwargs}
@@ -103,6 +108,9 @@ class PerfWorkloadResult:
     ranking_checksum: str
     route_cache: Optional[Dict[str, float]]
     profile: Dict[str, Dict[str, object]]
+    #: Query-result-cache counters (entries/hits/misses); ``None`` when
+    #: result caching was off for the run.
+    result_cache: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -140,11 +148,13 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
         incremental_repair=cfg.optimized,
     )
     ring = ChordRing(chord)
-    protocol = IndexingProtocol(ring)
+    protocol = IndexingProtocol(ring, result_cache_size=cfg.result_cache_size)
     processor = QueryProcessor(
         protocol,
         assumed_corpus_size=1_000_000,
         batch_fetch=cfg.optimized,
+        early_termination=cfg.early_termination,
+        result_cache=cfg.result_cache_size > 0,
     )
     build_s = perf_counter() - t0
 
@@ -234,4 +244,14 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
         ranking_checksum=checksum.hexdigest(),
         route_cache=ring.route_cache.stats() if ring.route_cache else None,
         profile=PROFILE.summary(),
+        result_cache=(
+            dict(
+                zip(
+                    ("entries", "hits", "misses"),
+                    protocol.result_cache_stats(),
+                )
+            )
+            if cfg.result_cache_size > 0
+            else None
+        ),
     )

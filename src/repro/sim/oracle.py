@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Two comparisons, both on a churn-free ring:
+Three comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -11,6 +11,16 @@ Two comparisons, both on a churn-free ring:
   ranking exactly — score bits included, because the optimized scoring
   loop intentionally performs the same floating-point operations in the
   same order.
+
+* **Top-k path equivalence** — the ISSUE 4 retrieval rebuild (columnar
+  slots, exact max-score early termination, query-result caching) must
+  be invisible in results: rankings bit-identical to the exhaustive
+  batched path, and — with the result cache disabled — the *per-kind
+  network traffic* identical too, message for message, byte for byte
+  (early termination changes local scoring work only, never the wire).
+  The cached system is additionally queried twice per test query so the
+  second round is served from the result caches, which must still be
+  bit-identical.
 
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
@@ -108,7 +118,9 @@ class DifferentialOracle:
             incremental_repair=optimized,
         )
 
-    def _sprite_config(self) -> SpriteConfig:
+    def _sprite_config(
+        self, early_termination: bool = True, result_cache_size: int = 0
+    ) -> SpriteConfig:
         return SpriteConfig(
             initial_terms=3,
             terms_per_iteration=3,
@@ -117,6 +129,8 @@ class DifferentialOracle:
             query_cache_size=200,
             assumed_corpus_size=1000,
             top_k_answers=self.top_k,
+            early_termination=early_termination,
+            result_cache_size=result_cache_size,
         )
 
     def _build_sprite(self, optimized: bool) -> SpriteSystem:
@@ -155,7 +169,96 @@ class DifferentialOracle:
                 )
         return report
 
-    # -- comparison 2: full-index SPRITE vs centralized TF-IDF ---------------
+    # -- comparison 2: top-k path vs exhaustive batched path -----------------
+
+    def check_topk_paths(self) -> OracleReport:
+        """Replay the seeded flow through three optimized systems that
+        differ only in the ISSUE 4 switches: exhaustive scoring, exact
+        early termination, and early termination + result caching.
+
+        Rankings must match bit for bit in every round — including the
+        second query round, which the cached system answers from its
+        result caches.  With the result cache disabled, early
+        termination must also leave the per-kind network traffic
+        (messages, bytes, hops) untouched: it changes local scoring
+        work only, never the wire.
+        """
+        report = OracleReport(name="topk-paths")
+        exhaustive = self._build_topk_sprite(
+            early_termination=False, result_cache_size=0
+        )
+        pruned = self._build_topk_sprite(
+            early_termination=True, result_cache_size=0
+        )
+        cached = self._build_topk_sprite(
+            early_termination=True, result_cache_size=128
+        )
+        for system in (exhaustive, pruned, cached):
+            system.share_corpus()
+            system.register_queries(self.train)
+            system.run_learning()
+        exhaustive_base = exhaustive.ring.stats.snapshot()
+        pruned_base = pruned.ring.stats.snapshot()
+        for round_no in range(2):
+            for query in self.test:
+                baseline = _pairs(exhaustive.search(query, cache=False))
+                early = _pairs(pruned.search(query, cache=False))
+                served = _pairs(cached.search(query, cache=False))
+                report.queries_compared += 1
+                if early != baseline:
+                    report.mismatches.append(
+                        RankingMismatch(
+                            query_id=query.query_id,
+                            detail=(
+                                f"round {round_no}: early-termination="
+                                f"{early[:3]}... exhaustive={baseline[:3]}..."
+                            ),
+                        )
+                    )
+                if served != baseline:
+                    report.mismatches.append(
+                        RankingMismatch(
+                            query_id=query.query_id,
+                            detail=(
+                                f"round {round_no}: result-cached="
+                                f"{served[:3]}... exhaustive={baseline[:3]}..."
+                            ),
+                        )
+                    )
+        exhaustive_delta = _kind_counts(
+            exhaustive.ring.stats.delta_since(exhaustive_base)
+        )
+        pruned_delta = _kind_counts(pruned.ring.stats.delta_since(pruned_base))
+        if exhaustive_delta != pruned_delta:
+            diff_kinds = sorted(
+                k
+                for k in set(exhaustive_delta) | set(pruned_delta)
+                if exhaustive_delta.get(k) != pruned_delta.get(k)
+            )
+            report.mismatches.append(
+                RankingMismatch(
+                    query_id="<network>",
+                    detail=(
+                        "per-kind traffic diverged with the result cache "
+                        f"disabled: {', '.join(diff_kinds)}"
+                    ),
+                )
+            )
+        return report
+
+    def _build_topk_sprite(
+        self, early_termination: bool, result_cache_size: int
+    ) -> SpriteSystem:
+        return SpriteSystem(
+            self.corpus,
+            sprite_config=self._sprite_config(
+                early_termination=early_termination,
+                result_cache_size=result_cache_size,
+            ),
+            chord_config=self._chord_config(optimized=True),
+        )
+
+    # -- comparison 3: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
         """At F = ∞ with the assumed corpus size pinned to the true
@@ -206,6 +309,21 @@ class DifferentialOracle:
         return report
 
     def check_all(self) -> Dict[str, OracleReport]:
-        """Both comparisons, keyed by oracle name."""
-        reports = [self.check_perf_paths(), self.check_centralized_baseline()]
+        """All comparisons, keyed by oracle name."""
+        reports = [
+            self.check_perf_paths(),
+            self.check_topk_paths(),
+            self.check_centralized_baseline(),
+        ]
         return {r.name: r for r in reports}
+
+
+def _kind_counts(
+    delta: Dict[object, object],
+) -> Dict[str, Tuple[int, int, int]]:
+    """Per-kind (messages, bytes, hops) with all-zero kinds dropped."""
+    return {
+        getattr(kind, "name", str(kind)): (s.messages, s.bytes, s.hops)
+        for kind, s in delta.items()
+        if s.messages or s.bytes or s.hops
+    }

@@ -78,6 +78,42 @@ class TestTruncate:
         assert rl.top_ids(5) == []
 
 
+class TestTopK:
+    """The heap-based selection must equal full-sort-then-slice,
+    including deterministic tie ordering (regression pin for the
+    ``heapq.nsmallest`` rewrite of ``truncate``/``top_k``)."""
+
+    def test_top_k_equals_sort_and_slice(self) -> None:
+        scores = {"a": 1.0, "b": 3.0, "c": 2.0, "d": 3.0, "e": 0.5}
+        assert RankedList.top_k(scores, 3).ids() == RankedList(scores).ids()[:3]
+
+    def test_tie_ordering_pinned(self) -> None:
+        # Four-way tie: selection must keep ascending doc-id order and
+        # cut deterministically at k.
+        scores = {"d": 1.0, "b": 1.0, "c": 1.0, "a": 1.0, "z": 2.0}
+        assert RankedList.top_k(scores, 3).ids() == ["z", "a", "b"]
+
+    def test_top_k_zero_and_beyond_length(self) -> None:
+        scores = {"a": 1.0, "b": 2.0}
+        assert RankedList.top_k(scores, 0).ids() == []
+        assert RankedList.top_k(scores, 99).ids() == ["b", "a"]
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdxyz", min_size=1, max_size=4),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=35),
+    )
+    def test_top_k_matches_truncate_and_sort(self, scores: dict, k: int) -> None:
+        full = RankedList(scores)
+        selected = RankedList.top_k(scores, k)
+        assert selected.ids() == full.ids()[:k]
+        assert selected.ids() == full.truncate(k).ids()
+        assert [e.score for e in selected] == [e.score for e in full][:k]
+
+
 @given(
     st.dictionaries(
         st.text(alphabet="abcdxyz", min_size=1, max_size=4),

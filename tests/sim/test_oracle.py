@@ -1,4 +1,5 @@
-"""The differential oracle: perf paths and the centralized baseline."""
+"""The differential oracle: perf paths, top-k paths, and the
+centralized baseline."""
 
 from __future__ import annotations
 
@@ -40,6 +41,26 @@ class TestPerfPaths:
         assert fast.ring.live_ids == slow.ring.live_ids
 
 
+class TestTopKPaths:
+    def test_topk_and_cached_rankings_bit_identical(self, oracle) -> None:
+        report = oracle.check_topk_paths()
+        assert report.queries_compared > 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+    def test_builders_differ_only_in_topk_switches(self, oracle) -> None:
+        exhaustive = oracle._build_topk_sprite(
+            early_termination=False, result_cache_size=0
+        )
+        served = oracle._build_topk_sprite(
+            early_termination=True, result_cache_size=128
+        )
+        assert not exhaustive.processor.early_termination
+        assert served.processor.early_termination
+        assert exhaustive.protocol.result_cache_size == 0
+        assert served.protocol.result_cache_size == 128
+        assert exhaustive.ring.live_ids == served.ring.live_ids
+
+
 class TestCentralizedBaseline:
     def test_full_index_matches_centralized_tfidf(self, oracle) -> None:
         report = oracle.check_centralized_baseline()
@@ -58,7 +79,11 @@ class TestCentralizedBaseline:
 
 
 class TestCheckAll:
-    def test_runs_both_oracles(self, oracle) -> None:
+    def test_runs_all_oracles(self, oracle) -> None:
         reports = oracle.check_all()
-        assert set(reports) == {"perf-paths", "centralized-baseline"}
+        assert set(reports) == {
+            "perf-paths",
+            "topk-paths",
+            "centralized-baseline",
+        }
         assert all(r.ok for r in reports.values())
