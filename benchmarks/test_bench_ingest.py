@@ -1,0 +1,173 @@
+"""Tracked bulk-ingest benchmark (ISSUE 5).
+
+Runs the :mod:`repro.perf.ingest` three-arm comparison — the seed
+legacy write path (per-term publishes, no route cache), the route-cached
+per-term path, and the destination-grouped batched path — over one
+seeded write-heavy workload (analyze → bulk share → learn → churn
+re-publish), asserts all three produce identical ranking checksums, and
+records the measurements into ``benchmarks/BENCH_INGEST.json`` so
+subsequent PRs have a trajectory to compare against.
+
+Scales (``BENCH_INGEST_SCALE``):
+
+* ``smoke`` (default) — 200 peers / 120 documents, under a second;
+  what CI's benchmark smoke job runs.
+* ``paper`` — the tracked 2,000-peer / 600-document workload from the
+  issue's acceptance criteria (batched mode must clear 2x the legacy
+  path's bulk-share docs/sec, with a measured drop in publish
+  messages per document).
+
+Regression guard: with ``BENCH_INGEST_ENFORCE=1`` the run fails if the
+fresh batched-mode build docs/sec drops more than 30% below the
+committed record for the same scale (CI sets this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.ingest import (
+    ingest_paper_config,
+    ingest_smoke_config,
+    run_ingest_comparison,
+)
+
+RECORD_PATH = Path(__file__).parent / "BENCH_INGEST.json"
+SCALE = os.environ.get("BENCH_INGEST_SCALE", "smoke")
+ENFORCE = os.environ.get("BENCH_INGEST_ENFORCE", "") == "1"
+#: Max tolerated build-docs/sec regression vs the committed record (30%).
+REGRESSION_FLOOR = 0.7
+#: Batched-mode build speedup floors over the seed legacy path per scale.
+SPEEDUP_FLOOR = {"paper": 2.0, "smoke": 1.2}
+
+
+def _format_table(comparison) -> str:
+    modes = ("legacy", "per_term", "batched")
+    lines = [
+        f"ingest workload [{SCALE}]: "
+        f"{comparison.legacy.num_peers} peers, "
+        f"{comparison.legacy.num_documents} documents",
+        f"{'mode':<10} {'docs/s':>10} {'repub/s':>10} "
+        f"{'msgs/doc':>10} {'lookups/doc':>12}",
+    ]
+    for name in modes:
+        result = getattr(comparison, name)
+        lines.append(
+            f"{name:<10} {result.docs_per_s_build:>10.2f} "
+            f"{result.docs_per_s_republish:>10.2f} "
+            f"{result.publish_messages_per_doc:>10.3f} "
+            f"{result.lookups_per_doc:>12.3f}"
+        )
+    lines.append(
+        f"build speedup vs legacy: {comparison.speedup_build:.2f}x "
+        f"(vs route-cached per-term: "
+        f"{comparison.speedup_build_vs_per_term:.2f}x)"
+    )
+    lines.append(
+        f"churn re-publish speedup vs legacy: "
+        f"{comparison.speedup_republish:.2f}x"
+    )
+    lines.append(
+        f"publish messages per document: {comparison.message_ratio:.2f}x fewer"
+    )
+    lines.append(f"ranking checksums identical: {comparison.checksums_match}")
+    sc = comparison.batched.stem_cache
+    lines.append(
+        f"stem cache: {sc['hits']} hits / {sc['misses']} misses "
+        f"({sc['currsize']} entries)"
+    )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def measurements(record_result):
+    cfg = ingest_paper_config() if SCALE == "paper" else ingest_smoke_config()
+    committed = {}
+    if RECORD_PATH.exists():
+        committed = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+
+    comparison = run_ingest_comparison(cfg)
+
+    record = dict(committed)
+    record[SCALE] = {
+        "workload": {
+            "num_peers": cfg.num_peers,
+            "num_documents": cfg.num_documents,
+            "num_ingest_peers": cfg.num_ingest_peers,
+            "vocabulary_size": cfg.vocabulary_size,
+            "churn_cycles": cfg.churn_cycles,
+            "seed": cfg.seed,
+        },
+        **comparison.to_dict(),
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    record_result("ingest", _format_table(comparison))
+    return {"comparison": comparison, "committed": committed}
+
+
+def test_bench_ingest_workload(benchmark, measurements) -> None:
+    """Time one batched-mode smoke run for the pytest-benchmark table."""
+    from repro.perf.ingest import run_ingest_workload
+
+    cfg = ingest_smoke_config().replaced(churn_cycles=2, num_queries=40)
+    benchmark.pedantic(run_ingest_workload, args=(cfg,), rounds=1, iterations=1)
+
+
+class TestEquivalence:
+    def test_all_write_paths_rank_identically(self, measurements) -> None:
+        assert measurements["comparison"].checksums_match
+
+    def test_batched_path_sends_fewer_publish_messages(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        assert (
+            comparison.batched.publish_messages_per_doc
+            < comparison.legacy.publish_messages_per_doc
+        )
+        assert comparison.message_ratio >= 2.0
+
+    def test_batched_path_pays_fewer_lookups(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        assert (
+            comparison.batched.lookups_per_doc
+            < comparison.legacy.lookups_per_doc
+        )
+
+    def test_stem_cache_absorbs_vocabulary_repeats(self, measurements) -> None:
+        sc = measurements["comparison"].batched.stem_cache
+        assert sc["hits"] > sc["misses"]
+
+
+class TestSpeedup:
+    def test_batched_build_clears_floor_over_legacy(self, measurements) -> None:
+        floor = SPEEDUP_FLOOR[SCALE]
+        speedup = measurements["comparison"].speedup_build
+        assert speedup >= floor, (
+            f"batched build speedup {speedup}x below {floor}x at scale {SCALE!r}"
+        )
+
+    def test_batched_not_slower_than_per_term_cached(self, measurements) -> None:
+        ratio = measurements["comparison"].speedup_build_vs_per_term
+        assert ratio >= 1.0, (
+            f"destination grouping fell to {ratio}x of the per-term path"
+        )
+
+
+class TestRegressionGuard:
+    def test_build_docs_per_s_vs_committed_record(self, measurements) -> None:
+        committed = measurements["committed"].get(SCALE)
+        if not committed:
+            pytest.skip(f"no committed record for scale {SCALE!r} yet")
+        if not ENFORCE:
+            pytest.skip("BENCH_INGEST_ENFORCE not set (informational run)")
+        previous = committed["batched"]["docs_per_s_build"]
+        current = measurements["comparison"].batched.docs_per_s_build
+        assert current >= REGRESSION_FLOOR * previous, (
+            f"batched build docs/sec regressed: {current:.0f} vs committed "
+            f"{previous:.0f} (floor {REGRESSION_FLOOR:.0%})"
+        )

@@ -235,7 +235,7 @@ def cmd_net(args: argparse.Namespace, out) -> int:
         f"timeout={config.network.timeout_ms:.0f}ms, "
         f"retries={config.network.max_retries}\n"
     )
-    out.write("drop        ok    failed    retries    p50_ms    p99_ms\n")
+    out.write("drop        ok    failed    retries    p50_ms    p99_ms    by category\n")
     for rate in rates:
         net_cfg = dataclasses.replace(
             config.network, transport="lossy", drop_probability=rate
@@ -253,9 +253,14 @@ def cmd_net(args: argparse.Namespace, out) -> int:
             except NodeFailedError:
                 failed += 1
         s = transport.trace.rollup()
+        categories = " ".join(
+            f"{category}={summary.messages}"
+            for category, summary in transport.trace.category_rollup().items()
+        )
         out.write(
             f"{rate:>4.2f}  {ok:>8}  {failed:>8}  {s.retries:>9}"
-            f"  {s.latency_p50_ms:>8.1f}  {s.latency_p99_ms:>8.1f}\n"
+            f"  {s.latency_p50_ms:>8.1f}  {s.latency_p99_ms:>8.1f}"
+            f"    {categories}\n"
         )
     return 0
 
@@ -327,6 +332,8 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         )
     if args.mode == "topk":
         return _cmd_perf_topk(args, out)
+    if args.mode == "ingest":
+        return _cmd_perf_ingest(args, out)
     cfg = smoke_config() if args.small else paper_scale_config()
     cfg = cfg.replaced(optimized=not args.baseline, seed=args.seed)
     mode = "baseline (optimizations off)" if args.baseline else "optimized"
@@ -407,6 +414,55 @@ def _cmd_perf_topk(args: argparse.Namespace, out) -> int:
             f"  result cache: {rc['hits']} hits / {rc['misses']} misses, "
             f"{rc['entries']} entries\n"
         )
+    out.write(
+        "  ranking checksums "
+        + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
+    )
+    return 0 if comparison.checksums_match else 1
+
+
+def _cmd_perf_ingest(args: argparse.Namespace, out) -> int:
+    """Run the three-arm write-path comparison (ISSUE 5) and print it."""
+    import json
+
+    from .perf.ingest import (
+        ingest_paper_config,
+        ingest_smoke_config,
+        run_ingest_comparison,
+    )
+
+    cfg = ingest_smoke_config() if args.small else ingest_paper_config()
+    cfg = cfg.replaced(seed=args.seed)
+    out.write(
+        f"ingest comparison: {cfg.num_peers} peers, "
+        f"{cfg.num_documents} documents from {cfg.num_ingest_peers} "
+        f"ingest peers, {cfg.churn_cycles} churn cycles\n"
+    )
+    comparison = run_ingest_comparison(cfg)
+    if args.json:
+        out.write(json.dumps(comparison.to_dict(), indent=2) + "\n")
+        return 0
+    for name in ("legacy", "per_term", "batched"):
+        result = getattr(comparison, name)
+        out.write(
+            f"  {name:<9} {result.docs_per_s_build:>9.0f} docs/s build · "
+            f"{result.docs_per_s_republish:>8.0f} docs/s re-publish · "
+            f"{result.publish_messages_per_doc:>7.3f} msgs/doc · "
+            f"{result.lookups_per_doc:>7.3f} lookups/doc\n"
+        )
+    out.write(
+        f"  build speedup vs legacy ×{comparison.speedup_build:.2f} "
+        f"(vs route-cached per-term ×{comparison.speedup_build_vs_per_term:.2f}), "
+        f"re-publish ×{comparison.speedup_republish:.2f}\n"
+    )
+    out.write(
+        f"  publish messages per document: ×{comparison.message_ratio:.2f} fewer\n"
+    )
+    sc = comparison.batched.stem_cache
+    out.write(
+        f"  stem cache: {sc['hits']} hits / {sc['misses']} misses "
+        f"({sc['currsize']} entries)\n"
+    )
     out.write(
         "  ranking checksums "
         + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
@@ -534,10 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=("e2e", "topk"),
+        choices=("e2e", "topk", "ingest"),
         default="e2e",
         help="e2e: one workload run; topk: the four-mode top-k comparison "
-        "(legacy / batched / early-termination / result-cached)",
+        "(legacy / batched / early-termination / result-cached); ingest: "
+        "the three-arm write-path comparison (seed per-term / route-cached "
+        "per-term / destination-grouped batched)",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     p.set_defaults(handler=cmd_perf)

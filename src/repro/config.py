@@ -134,6 +134,14 @@ class SpriteConfig:
     #: from a cached result changes the *message* profile the cost
     #: figures measure, even though the rankings stay identical.
     result_cache_size: int = 0
+    #: Destination-grouped write path (DESIGN.md §11): publish/unpublish
+    #: and learning polls group terms by responsible indexing peer, pay
+    #: one lookup per *distinct* peer, and ship PUBLISH_BATCH /
+    #: UNPUBLISH_BATCH / POLL_BATCH messages.  False keeps the seed
+    #: per-term path in-tree as the differential oracle (same pattern as
+    #: ``columnar_postings``); resulting index state and rankings are
+    #: identical either way.
+    batched_writes: bool = True
 
     def __post_init__(self) -> None:
         _require(self.initial_terms >= 1, "initial_terms must be >= 1")
@@ -175,6 +183,10 @@ class ESearchConfig:
     index_terms: int = 20
     assumed_corpus_size: int = 1_000_000
     top_k_answers: int = 20
+    #: Same write-path switch as :attr:`SpriteConfig.batched_writes`,
+    #: threaded through so cost experiments can hold the wire protocol
+    #: fixed across the compared systems.
+    batched_writes: bool = True
 
     def __post_init__(self) -> None:
         _require(self.index_terms >= 1, "index_terms must be >= 1")

@@ -20,6 +20,7 @@ replication move it transparently.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import Callable, FrozenSet, Set
@@ -29,13 +30,16 @@ from ..dht.messages import (
     MessageKind,
     QUERY_HEADER_BYTES,
     TERM_BYTES,
+    poll_batch_message,
     postings_message,
+    publish_batch_message,
     publish_message,
     query_batch_message,
     result_probe_message,
     result_store_message,
     result_value_message,
     search_message,
+    unpublish_batch_message,
     version_probe_message,
     version_value_message,
 )
@@ -140,6 +144,24 @@ class IndexingProtocol:
 
     # -- slot access ----------------------------------------------------------
 
+    def _slot_at(self, node, term: str, create: bool) -> Optional[TermSlot]:
+        """The term's slot on an already-located node.
+
+        adopt(), not get_or_replica(): a responsible peer serving a
+        replica-resident slot promotes it to a primary copy, so later
+        key transfers (joins) migrate it instead of stranding it.
+        Creates an empty slot on demand when *create*."""
+        key = self.term_hash(term)
+        slot = node.adopt(key)
+        if slot is None and create:
+            slot = TermSlot(
+                term=term,
+                cache=QueryCache(self.query_cache_size),
+                columnar=self.columnar_postings,
+            )
+            node.put(key, slot)
+        return slot
+
     def _locate_slot(
         self, start_id: int, term: str, create: bool
     ) -> Tuple[Optional[TermSlot], int, int]:
@@ -149,18 +171,66 @@ class IndexingProtocol:
         node = self.ring.node(result.node_id)
         if not node.alive:
             raise NodeFailedError(result.node_id)
-        # adopt(), not get_or_replica(): a responsible peer serving a
-        # replica-resident slot promotes it to a primary copy, so later
-        # key transfers (joins) migrate it instead of stranding it.
-        slot = node.adopt(self.term_hash(term))
-        if slot is None and create:
-            slot = TermSlot(
-                term=term,
-                cache=QueryCache(self.query_cache_size),
-                columnar=self.columnar_postings,
-            )
-            node.put(self.term_hash(term), slot)
-        return slot, result.node_id, result.hops  # type: ignore[return-value]
+        slot = self._slot_at(node, term, create)
+        return slot, result.node_id, result.hops
+
+    def _locate_write_batch(
+        self, start_id: int, terms: Sequence[str]
+    ) -> Tuple[Dict[int, List[str]], Dict[int, int], List[str]]:
+        """Destination-group a write batch: resolve each distinct term's
+        responsible indexing peer, paying one DHT lookup per *distinct
+        peer* rather than per term.
+
+        A term whose hash falls in the ownership interval of an
+        already-resolved live peer is absorbed without a lookup — Chord
+        ownership (key ∈ (predecessor, node]) is unique on a consistent
+        ring, so absorption and lookup agree whenever the ring is
+        stabilized.  Peers whose predecessor pointer is unset are never
+        absorbed into (``owns`` degenerates to "everything" there).
+        Only one resolved peer can possibly own a key — the first
+        resolved id at-or-past it on the ring (no peer exists between a
+        key and its owner) — so the candidate is found by bisection, not
+        a scan.
+
+        Returns ``(peer → its terms in first-seen order, peer → routed
+        hop count, unresolvable terms)``.
+        """
+        peer_terms: Dict[int, List[str]] = {}
+        peer_hops: Dict[int, int] = {}
+        failed: List[str] = []
+        resolved_sorted: List[int] = []
+        lookups = 0
+        absorbed = 0
+        for term in dict.fromkeys(terms):
+            key = self.term_hash(term)
+            node_id: Optional[int] = None
+            if resolved_sorted:
+                idx = bisect_left(resolved_sorted, key)
+                candidate = resolved_sorted[idx % len(resolved_sorted)]
+                node = self.ring.node(candidate)
+                if node.alive and node.predecessor is not None and node.owns(key):
+                    node_id = candidate
+                    absorbed += 1
+            if node_id is None:
+                try:
+                    result = self.ring.lookup(start_id, key)
+                    if not self.ring.node(result.node_id).alive:
+                        raise NodeFailedError(result.node_id)
+                except NodeFailedError:
+                    failed.append(term)
+                    continue
+                lookups += 1
+                node_id = result.node_id
+                peer_hops[node_id] = max(
+                    peer_hops.get(node_id, 0), result.hops + 1
+                )
+            if node_id not in peer_terms:
+                insort(resolved_sorted, node_id)
+            peer_terms.setdefault(node_id, []).append(term)
+        if PROFILE.enabled:
+            PROFILE.count("ingest.write_lookups", lookups)
+            PROFILE.count("ingest.absorbed_terms", absorbed)
+        return peer_terms, peer_hops, failed
 
     # -- publication (owner → indexing peer) -----------------------------------
 
@@ -195,6 +265,15 @@ class IndexingProtocol:
         if slot is None:
             return False
         removed = slot.remove_posting(doc_id) is not None
+        self._forward_unpublish_to_replicas(node_id, term, doc_id)
+        return removed
+
+    def _forward_unpublish_to_replicas(
+        self, node_id: int, term: str, doc_id: str
+    ) -> None:
+        """Propagate a deletion to the live successor replicas of the
+        term's slot (the double-counting guard of :meth:`unpublish`),
+        shared by the per-term and batched removal paths."""
         key = self.term_hash(term)
         for succ_id in self.ring.node(node_id).successor_list:
             if succ_id == node_id or not self.ring.is_live(succ_id):
@@ -213,7 +292,115 @@ class IndexingProtocol:
                     )
                 except NodeFailedError:
                     continue
-        return removed
+
+    def publish_batch(
+        self, owner_id: int, postings: Sequence[Tuple[str, PostingEntry]]
+    ) -> Tuple[Set[str], Set[str]]:
+        """Publish many (term, posting) pairs destination-grouped: one
+        lookup per distinct indexing peer and one PUBLISH_BATCH message
+        carrying that peer's postings (DESIGN.md §11).
+
+        Postings are applied in *input order* (consecutive same-term
+        runs go through :meth:`TermSlot.add_postings`), so slot versions
+        advance in exactly the sequence the per-term path would produce
+        — the property the batched-vs-legacy fingerprint comparison
+        checks.  A peer that fails loses only its own batch.
+
+        Returns ``(published terms, failed terms)``.
+        """
+        peer_terms, peer_hops, failed = self._locate_write_batch(
+            owner_id, [term for term, __ in postings]
+        )
+        failed_terms: Set[str] = set(failed)
+        term_peer = {
+            term: node_id for node_id, batch in peer_terms.items() for term in batch
+        }
+        batch_sizes: Dict[int, int] = {}
+        for term, __ in postings:
+            node_id = term_peer.get(term)
+            if node_id is not None:
+                batch_sizes[node_id] = batch_sizes.get(node_id, 0) + 1
+        sendable: Set[int] = set()
+        for node_id, batch in peer_terms.items():
+            try:
+                self.ring.send(
+                    publish_batch_message(
+                        owner_id, node_id, batch_sizes[node_id], peer_hops[node_id]
+                    )
+                )
+            except NodeFailedError:
+                failed_terms.update(batch)
+                continue
+            sendable.add(node_id)
+
+        published: Set[str] = set()
+        i, n = 0, len(postings)
+        while i < n:
+            term = postings[i][0]
+            j = i + 1
+            while j < n and postings[j][0] == term:
+                j += 1
+            node_id = term_peer.get(term)
+            if node_id is not None and node_id in sendable:
+                slot = self._slot_at(self.ring.node(node_id), term, create=True)
+                assert slot is not None
+                slot.add_postings([posting for __, posting in postings[i:j]])
+                published.add(term)
+            i = j
+        if PROFILE.enabled:
+            PROFILE.count("ingest.publish_batches", len(sendable))
+            PROFILE.count("ingest.batched_postings", sum(batch_sizes.values()))
+        return published, failed_terms
+
+    def unpublish_batch(
+        self, owner_id: int, removals: Sequence[Tuple[str, str]]
+    ) -> Tuple[Set[str], Set[str]]:
+        """Remove many (term, doc id) postings destination-grouped, the
+        write-batched counterpart of :meth:`unpublish`: one lookup per
+        distinct peer, one UNPUBLISH_BATCH message each, applied in
+        input order with the same replica deletion-forwarding.
+
+        Returns ``(terms whose posting existed and was removed, failed
+        terms)`` — like :meth:`unpublish`, resolving to a peer that
+        lacks the slot/posting is not a failure.
+        """
+        peer_terms, peer_hops, failed = self._locate_write_batch(
+            owner_id, [term for term, __ in removals]
+        )
+        failed_terms: Set[str] = set(failed)
+        term_peer = {
+            term: node_id for node_id, batch in peer_terms.items() for term in batch
+        }
+        batch_sizes: Dict[int, int] = {}
+        for term, __ in removals:
+            node_id = term_peer.get(term)
+            if node_id is not None:
+                batch_sizes[node_id] = batch_sizes.get(node_id, 0) + 1
+        sendable: Set[int] = set()
+        for node_id, batch in peer_terms.items():
+            try:
+                self.ring.send(
+                    unpublish_batch_message(
+                        owner_id, node_id, batch_sizes[node_id], peer_hops[node_id]
+                    )
+                )
+            except NodeFailedError:
+                failed_terms.update(batch)
+                continue
+            sendable.add(node_id)
+
+        removed: Set[str] = set()
+        for term, doc_id in removals:
+            node_id = term_peer.get(term)
+            if node_id is None or node_id not in sendable:
+                continue
+            slot = self._slot_at(self.ring.node(node_id), term, create=False)
+            if slot is None:
+                continue
+            if slot.remove_posting(doc_id) is not None:
+                removed.add(term)
+            self._forward_unpublish_to_replicas(node_id, term, doc_id)
+        return removed, failed_terms
 
     # -- query registration (querying peer → indexing peers) -----------------
 
@@ -585,9 +772,26 @@ class IndexingProtocol:
         if slot is None:
             return [], since
 
-        fresh = slot.cache.since(since)
+        selected = self._select_fresh_queries(slot, term, index_term_hashes, since)
+        mean_terms = (
+            sum(len(c.terms) for c in selected) / len(selected) if selected else 0.0
+        )
+        self.ring.send(query_batch_message(node_id, owner_id, len(selected), mean_terms))
+        return selected, slot.cache.latest_sequence
+
+    def _select_fresh_queries(
+        self,
+        slot: TermSlot,
+        term: str,
+        index_term_hashes: Dict[str, int],
+        since: int,
+    ) -> List[CachedQuery]:
+        """The Section 3 selection rule for one slot: cached queries
+        newer than *since* for which *term* is the hash-closest of the
+        owner's index terms present in the query.  Shared verbatim by
+        :meth:`poll_term` and :meth:`poll_batch`."""
         selected: List[CachedQuery] = []
-        for cached in fresh:
+        for cached in slot.cache.since(since):
             present = {
                 t: index_term_hashes[t]
                 for t in cached.terms
@@ -598,11 +802,75 @@ class IndexingProtocol:
             closest = self.ring.space.closest_term_to_key(cached.query_hash, present)
             if closest == term:
                 selected.append(cached)
-        mean_terms = (
-            sum(len(c.terms) for c in selected) / len(selected) if selected else 0.0
+        return selected
+
+    def poll_batch(
+        self,
+        owner_id: int,
+        term_cursors: Sequence[Tuple[str, int]],
+        index_term_hashes: Dict[str, int],
+    ) -> Tuple[Dict[str, Tuple[List[CachedQuery], int]], Set[str]]:
+        """Coalesced learning poll: every (term, cursor) pair an owner
+        holds, grouped by responsible indexing peer — one POLL_BATCH
+        request and one QUERY_BATCH reply per *peer* instead of a
+        round-trip per term, with the per-term selection rule (and the
+        per-term cursors) preserved exactly via
+        :meth:`_select_fresh_queries`.
+
+        Returns ``(term → (new queries, latest sequence seen), failed
+        terms)``.  A term resolving to a peer without the slot reports
+        ``([], cursor)`` just like :meth:`poll_term`.
+        """
+        cursor_of = dict(term_cursors)
+        peer_terms, peer_hops, failed = self._locate_write_batch(
+            owner_id, [term for term, __ in term_cursors]
         )
-        self.ring.send(query_batch_message(node_id, owner_id, len(selected), mean_terms))
-        return selected, slot.cache.latest_sequence
+        failed_terms: Set[str] = set(failed)
+        results: Dict[str, Tuple[List[CachedQuery], int]] = {}
+        for node_id, batch in peer_terms.items():
+            try:
+                self.ring.send(
+                    poll_batch_message(
+                        owner_id,
+                        node_id,
+                        len(batch),
+                        len(index_term_hashes),
+                        peer_hops[node_id],
+                    )
+                )
+            except NodeFailedError:
+                failed_terms.update(batch)
+                continue
+            node = self.ring.node(node_id)
+            batch_results: Dict[str, Tuple[List[CachedQuery], int]] = {}
+            total_selected = 0
+            total_query_terms = 0
+            for term in batch:
+                slot = self._slot_at(node, term, create=False)
+                if slot is None:
+                    batch_results[term] = ([], cursor_of[term])
+                    continue
+                selected = self._select_fresh_queries(
+                    slot, term, index_term_hashes, cursor_of[term]
+                )
+                batch_results[term] = (selected, slot.cache.latest_sequence)
+                total_selected += len(selected)
+                total_query_terms += sum(len(c.terms) for c in selected)
+            mean_terms = (
+                total_query_terms / total_selected if total_selected else 0.0
+            )
+            try:
+                self.ring.send(
+                    query_batch_message(node_id, owner_id, total_selected, mean_terms)
+                )
+            except NodeFailedError:
+                failed_terms.update(batch)
+                continue
+            results.update(batch_results)
+        if PROFILE.enabled:
+            PROFILE.count("ingest.poll_batches", len(peer_terms))
+            PROFILE.count("ingest.batched_polls", len(results))
+        return results, failed_terms
 
     # -- maintenance / inspection ------------------------------------------------
 

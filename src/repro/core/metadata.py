@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..ir.postings import ColumnarPostings, ImpactRow, LegacyPostings
 from ..ir.ranking import RankedList
@@ -174,6 +174,14 @@ class TermSlot:
         self._store.add(
             entry.doc_id, entry.owner_peer, entry.raw_tf, entry.doc_length
         )
+
+    def add_postings(self, entries: Iterable[PostingEntry]) -> None:
+        """Apply one PUBLISH_BATCH run for this slot.  Each entry still
+        draws its own global version tick (versions are the result
+        cache's invalidation signal and must stay per-mutation), but the
+        derived views are rebuilt lazily at most once afterwards."""
+        for entry in entries:
+            self.add_posting(entry)
 
     def remove_posting(self, doc_id: str) -> Optional[PostingEntry]:
         row = self._store.remove(doc_id)

@@ -97,6 +97,94 @@ class OwnerPeer:
         self._unpublish_terms(state, list(state.index_terms))
         del self.shared[doc_id]
 
+    def share_bulk(
+        self,
+        documents: Sequence[Document],
+        first_terms_of: Dict[str, Sequence[str]] | None = None,
+    ) -> List[SharedDocument]:
+        """Share many documents at once.
+
+        On the batched write path the initial publications of the whole
+        batch are destination-grouped into *one*
+        :meth:`~repro.core.indexer.IndexingProtocol.publish_batch` call,
+        so a lookup is paid per distinct indexing peer across the entire
+        corpus slice rather than per (document, term) pair — the bulk
+        ingest the ROADMAP's "millions of users" north star needs.  With
+        ``batched_writes=False`` this is exactly a loop of
+        :meth:`share`.
+        """
+        for document in documents:
+            if document.doc_id in self.shared:
+                raise LearningError(
+                    f"document already shared: {document.doc_id!r}"
+                )
+        plans: List[Tuple[SharedDocument, List[str]]] = []
+        seen: Set[str] = set()
+        for document in documents:
+            if document.doc_id in seen:
+                raise LearningError(
+                    f"duplicate document in bulk share: {document.doc_id!r}"
+                )
+            seen.add(document.doc_id)
+            supplied = (
+                first_terms_of.get(document.doc_id)
+                if first_terms_of is not None
+                else None
+            )
+            terms = (
+                list(supplied)
+                if supplied is not None
+                else initial_terms(document, self.config.initial_terms)
+            )
+            state = SharedDocument(
+                document=document,
+                index_terms=[],
+                learner=IncrementalLearner(document, scorer=self.scorer),
+            )
+            self.shared[document.doc_id] = state
+            plans.append((state, terms))
+
+        if not self._batched_writes:
+            for state, terms in plans:
+                self._publish_terms(state, terms)
+            return [state for state, __ in plans]
+
+        postings: List[Tuple[str, PostingEntry]] = []
+        for state, terms in plans:
+            for term in dict.fromkeys(terms):
+                postings.append((term, self._posting_for(state.document, term)))
+        published, __ = self.protocol.publish_batch(self.node_id, postings)
+        for state, terms in plans:
+            for term in dict.fromkeys(terms):
+                if term not in published or term in state.index_terms:
+                    continue
+                state.index_terms.append(term)
+                if term not in state.poll_cursors:
+                    state.poll_cursors[term] = -1
+        if PROFILE.enabled:
+            PROFILE.count("ingest.bulk_documents", len(plans))
+        return [state for state, __ in plans]
+
+    def unshare_bulk(self, doc_ids: Sequence[str]) -> None:
+        """Withdraw many documents at once, destination-grouping all
+        their removals into one
+        :meth:`~repro.core.indexer.IndexingProtocol.unpublish_batch`
+        call on the batched path."""
+        if len(set(doc_ids)) != len(doc_ids):
+            raise LearningError("duplicate document id in bulk unshare")
+        states = [self._state(doc_id) for doc_id in doc_ids]
+        if not self._batched_writes:
+            for doc_id in doc_ids:
+                self.unshare(doc_id)
+            return
+        removals: List[Tuple[str, str]] = []
+        for state in states:
+            for term in state.index_terms:
+                removals.append((term, state.document.doc_id))
+        self.protocol.unpublish_batch(self.node_id, removals)
+        for doc_id in doc_ids:
+            del self.shared[doc_id]
+
     def _state(self, doc_id: str) -> SharedDocument:
         try:
             return self.shared[doc_id]
@@ -111,7 +199,28 @@ class OwnerPeer:
             doc_length=document.length,
         )
 
+    @property
+    def _batched_writes(self) -> bool:
+        return getattr(self.config, "batched_writes", True)
+
     def _publish_terms(self, state: SharedDocument, terms: Sequence[str]) -> None:
+        if self._batched_writes:
+            fresh = [
+                t for t in dict.fromkeys(terms) if t not in state.index_terms
+            ]
+            if not fresh:
+                return
+            published, __ = self.protocol.publish_batch(
+                self.node_id,
+                [(t, self._posting_for(state.document, t)) for t in fresh],
+            )
+            for term in fresh:
+                if term not in published:
+                    continue
+                state.index_terms.append(term)
+                if term not in state.poll_cursors:
+                    state.poll_cursors[term] = -1
+            return
         for term in terms:
             if term in state.index_terms:
                 continue
@@ -147,6 +256,22 @@ class OwnerPeer:
         return True
 
     def _unpublish_terms(self, state: SharedDocument, terms: Sequence[str]) -> None:
+        if self._batched_writes:
+            present = [
+                t for t in dict.fromkeys(terms) if t in state.index_terms
+            ]
+            if not present:
+                return
+            self.protocol.unpublish_batch(
+                self.node_id,
+                [(t, state.document.doc_id) for t in present],
+            )
+            # Like the per-term path, the owner forgets the term whether
+            # or not the destination peer was reachable.
+            for term in present:
+                state.index_terms.remove(term)
+                state.poll_cursors.pop(term, None)
+            return
         for term in terms:
             if term not in state.index_terms:
                 continue
@@ -166,6 +291,21 @@ class OwnerPeer:
         state = self._state(doc_id)
         hashes = {t: self.protocol.term_hash(t) for t in state.index_terms}
         collected: List[Tuple[str, ...]] = []
+        if self._batched_writes:
+            pairs = [
+                (term, state.poll_cursors.get(term, -1))
+                for term in state.index_terms
+            ]
+            results, __ = self.protocol.poll_batch(self.node_id, pairs, hashes)
+            # Reassemble in index-term order so the observed query
+            # stream is byte-identical to the per-term loop's.
+            for term in list(state.index_terms):
+                if term not in results:
+                    continue  # unreachable peer: cursor untouched
+                fresh, latest = results[term]
+                state.poll_cursors[term] = latest
+                collected.extend(c.terms for c in fresh)
+            return collected
         for term in list(state.index_terms):
             since = state.poll_cursors.get(term, -1)
             try:

@@ -127,6 +127,65 @@ class DistributedSystem:
             self.share_document(doc)
         self._shared = True
 
+    def bulk_share(self, documents: Optional[List] = None) -> int:
+        """Share many documents at once (default: every not-yet-shared
+        corpus document), grouping them by their assigned owner peer and
+        letting each owner ingest its slice through
+        :meth:`~repro.core.owner.OwnerPeer.share_bulk` — on the batched
+        write path one destination-grouped publish per owner covers the
+        owner's whole slice.  Returns the number of documents shared.
+        """
+        if documents is None:
+            documents = [
+                doc for doc in self.corpus if doc.doc_id not in self._doc_owner
+            ]
+        by_owner: Dict[int, List] = {}
+        for doc in documents:
+            by_owner.setdefault(self._owner_node_for(doc.doc_id), []).append(doc)
+        total = 0
+        for node_id, docs in by_owner.items():
+            owner = self.owners.get(node_id)
+            if owner is None:
+                owner = OwnerPeer(
+                    node_id, self.protocol, self.config, scorer=self.scorer
+                )
+                self.owners[node_id] = owner
+            firsts = {}
+            for doc in docs:
+                supplied = self._first_terms(doc.doc_id)
+                if supplied is not None:
+                    firsts[doc.doc_id] = supplied
+            owner.share_bulk(docs, first_terms_of=firsts or None)
+            for doc in docs:
+                self._doc_owner[doc.doc_id] = node_id
+            total += len(docs)
+        if len(self._doc_owner) >= len(self.corpus):
+            self._shared = True
+        return total
+
+    def bulk_unshare(self, doc_ids: Iterable[str]) -> int:
+        """Withdraw many documents at once, grouped per owner peer via
+        :meth:`~repro.core.owner.OwnerPeer.unshare_bulk`.  Returns the
+        number of documents withdrawn."""
+        by_owner: Dict[int, List[str]] = {}
+        for doc_id in doc_ids:
+            try:
+                node_id = self._doc_owner[doc_id]
+            except KeyError:
+                raise LearningError(
+                    f"document not shared yet: {doc_id!r}"
+                ) from None
+            by_owner.setdefault(node_id, []).append(doc_id)
+        total = 0
+        for node_id, ids in by_owner.items():
+            self.owners[node_id].unshare_bulk(ids)
+            for doc_id in ids:
+                del self._doc_owner[doc_id]
+            total += len(ids)
+        if total:
+            self._shared = len(self._doc_owner) >= len(self.corpus)
+        return total
+
     # -- querying ---------------------------------------------------------------
 
     def _issuer_for(self, query: Query) -> int:

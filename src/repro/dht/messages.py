@@ -35,6 +35,9 @@ class MessageKind(Enum):
     RESULT_STORE = "result_store"           # querying peer → result home: store result
     VERSION_PROBE = "version_probe"         # querying peer → indexing peer: slot versions?
     VERSION_VALUE = "version_value"         # indexing peer → querying peer: version reply
+    PUBLISH_BATCH = "publish_batch"         # owner → indexing peer: add n postings
+    UNPUBLISH_BATCH = "unpublish_batch"     # owner → indexing peer: remove n postings
+    POLL_BATCH = "poll_batch"               # owner → indexing peer: poll n term cursors
 
 
 #: Abstract size constants (bytes) used by the cost model.
@@ -169,5 +172,98 @@ def version_value_message(src: int, dst: int, num_terms: int) -> Message:
     )
 
 
+def publish_batch_message(src: int, dst: int, num_postings: int, hops: int) -> Message:
+    """A destination-grouped publication batch (n terms + n postings).
+
+    Amortizes the per-message header and the routing lookup over every
+    posting bound for one indexing peer (DESIGN.md §11)."""
+    return Message(
+        kind=MessageKind.PUBLISH_BATCH,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_postings * (TERM_BYTES + POSTING_BYTES),
+        hops=hops,
+    )
+
+
+def unpublish_batch_message(src: int, dst: int, num_terms: int, hops: int) -> Message:
+    """A destination-grouped removal batch: n (term hash, doc id)
+    pairs, 8 abstract bytes each."""
+    return Message(
+        kind=MessageKind.UNPUBLISH_BATCH,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_terms * (TERM_BYTES + TERM_BYTES),
+        hops=hops,
+    )
+
+
+def poll_batch_message(
+    src: int, dst: int, num_terms: int, num_index_terms: int, hops: int
+) -> Message:
+    """A coalesced learning poll: every (term, cursor) pair an owner has
+    on one indexing peer, plus the owner's full index-term hash list the
+    peer needs for the §3 closest-hash dedup."""
+    return Message(
+        kind=MessageKind.POLL_BATCH,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES
+        + num_terms * (TERM_BYTES + VERSION_BYTES)
+        + num_index_terms * TERM_BYTES,
+        hops=hops,
+    )
+
+
 #: All kinds, for table-driven tests.
 ALL_KINDS: Tuple[MessageKind, ...] = tuple(MessageKind)
+
+#: Traffic categories: every kind belongs to exactly one (tests assert
+#: the partition is total), so per-category rollups in
+#: :class:`~repro.dht.stats.NetworkStats` and the ``net`` sweep stay in
+#: sync with the kind list automatically.
+WRITE_PATH_KINDS = frozenset(
+    {
+        MessageKind.PUBLISH_TERM,
+        MessageKind.UNPUBLISH_TERM,
+        MessageKind.PUBLISH_BATCH,
+        MessageKind.UNPUBLISH_BATCH,
+        MessageKind.POLL_QUERIES,
+        MessageKind.POLL_BATCH,
+        MessageKind.QUERY_BATCH,
+    }
+)
+QUERY_PATH_KINDS = frozenset(
+    {
+        MessageKind.SEARCH_TERM,
+        MessageKind.POSTINGS,
+        MessageKind.RESULT_PROBE,
+        MessageKind.RESULT_VALUE,
+        MessageKind.RESULT_STORE,
+        MessageKind.VERSION_PROBE,
+        MessageKind.VERSION_VALUE,
+    }
+)
+ROUTING_KINDS = frozenset({MessageKind.LOOKUP})
+MAINTENANCE_KINDS = frozenset(
+    {
+        MessageKind.REPLICATE,
+        MessageKind.HEARTBEAT,
+        MessageKind.RECONCILE,
+        MessageKind.ADVISE_HOT_TERM,
+    }
+)
+
+
+def category_of(kind: MessageKind) -> str:
+    """The traffic category of ``kind``: ``"write"``, ``"query"``,
+    ``"routing"``, or ``"maintenance"``."""
+    if kind in WRITE_PATH_KINDS:
+        return "write"
+    if kind in QUERY_PATH_KINDS:
+        return "query"
+    if kind in ROUTING_KINDS:
+        return "routing"
+    if kind in MAINTENANCE_KINDS:
+        return "maintenance"
+    raise ValueError(f"uncategorized message kind: {kind!r}")

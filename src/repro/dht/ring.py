@@ -490,6 +490,31 @@ class ChordRing:
                 break
             nxt = current.closest_preceding_finger(key, self.is_live)
             if nxt == current.node_id:
+                # The one-deep (current, successor] test above cannot see
+                # past *consecutive* failed successors: when the key's
+                # unrepaired owner is the second (or later) dead entry in
+                # the successor list, routing would orbit the ring
+                # forever.  Walk the raw successor list interval by
+                # interval — the first entry at-or-past the key is the
+                # key's current routing-state owner: dead → the Section 7
+                # down-peer window (NodeFailedError, exactly like the
+                # single-successor case above); live → terminate there.
+                prev = current.node_id
+                owner: Optional[int] = None
+                for succ in current.successor_list:
+                    if self.space.in_interval(key, prev, succ):
+                        owner = succ
+                        break
+                    prev = succ
+                if owner is not None:
+                    if not self.is_live(owner):
+                        raise NodeFailedError(owner)
+                    if hop_transport:
+                        self._deliver_hop(current.node_id, owner)
+                    hops += 1
+                    path.append(owner)
+                    result = LookupResult(owner, hops, tuple(path))
+                    break
                 live_succ = current.first_live_successor(self.is_live)
                 if live_succ is None or live_succ == current.node_id:
                     raise NodeFailedError(raw_successor)

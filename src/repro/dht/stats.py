@@ -13,7 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .messages import Message, MessageKind
+from .messages import Message, MessageKind, category_of
 
 
 @dataclass
@@ -126,4 +126,23 @@ class NetworkStats:
                 "hops": s.hops,
             }
             for kind, s in sorted(self._by_kind.items(), key=lambda kv: kv[0].value)
+        }
+
+    def category_summary(self) -> Dict[str, Dict[str, int]]:
+        """Traffic folded into the four protocol categories — write
+        (publish/unpublish/poll, batched or per-term), query
+        (search/postings/result/version), routing (lookups), and
+        maintenance (replication/heartbeat/reconcile) — so sweeps can
+        report write-path cost beside query traffic without enumerating
+        kinds.  Only categories with traffic appear."""
+        folded: Dict[str, KindStats] = defaultdict(KindStats)
+        for kind, s in self._by_kind.items():
+            folded[category_of(kind)] = folded[category_of(kind)].merged_with(s)
+        return {
+            category: {
+                "messages": s.messages,
+                "bytes": s.bytes,
+                "hops": s.hops,
+            }
+            for category, s in sorted(folded.items())
         }

@@ -16,7 +16,7 @@ print the rows; examples reuse them too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Literal, Optional, Sequence
 
 from ..config import ESearchConfig, SpriteConfig
@@ -315,7 +315,14 @@ class CostRow:
 def run_cost_comparison(env: Environment) -> List[CostRow]:
     """Measure the publication traffic of (a) SPRITE's selective index,
     (b) eSearch's static top-20, and (c) indexing *every* unique term —
-    the infeasible strawman the introduction argues against."""
+    the infeasible strawman the introduction argues against.
+
+    All three systems run the paper's per-term publication protocol
+    (``batched_writes=False``): the figure compares term-*selection*
+    policies under the Section 1 cost model, where every published
+    (doc, term) pair is one message.  The batched write path's savings
+    are measured separately by the ingest benchmark (DESIGN.md §11).
+    """
     rows: List[CostRow] = []
     n_docs = len(env.corpus)
 
@@ -331,10 +338,19 @@ def run_cost_comparison(env: Environment) -> List[CostRow]:
             messages_per_document=publish.messages / n_docs,
         )
 
-    sprite = build_trained_sprite(env)
+    sprite = build_trained_sprite(
+        env, sprite_config=replace(env.config.sprite, batched_writes=False)
+    )
     rows.append(measure(sprite, "sprite"))
 
-    esearch = build_esearch(env)
+    legacy_esearch = replace(env.config.esearch, batched_writes=False)
+    esearch = ESearchSystem(
+        env.corpus,
+        esearch_config=legacy_esearch,
+        chord_config=env.config.chord,
+        transport=build_transport(env.config.network),
+    )
+    esearch.share_corpus()
     rows.append(measure(esearch, "esearch"))
 
     class _IndexEverything(ESearchSystem):
@@ -344,7 +360,7 @@ def run_cost_comparison(env: Environment) -> List[CostRow]:
 
     everything = _IndexEverything(
         env.corpus,
-        esearch_config=env.config.esearch,
+        esearch_config=legacy_esearch,
         chord_config=env.config.chord,
     )
     everything.share_corpus()

@@ -25,6 +25,52 @@ DELIVERED = "delivered"
 DROPPED = "dropped"
 DEST_DOWN = "dest_down"
 
+#: Kind-name → traffic-category mapping, mirroring the
+#: :class:`~repro.dht.messages.MessageKind` category frozensets as plain
+#: strings (same import-independence rule as the outcome labels; a sync
+#: test asserts the two stay aligned).  Unknown kinds — e.g. the
+#: synthetic kinds transport unit tests invent — fall into ``"other"``.
+WRITE_PATH_KIND_NAMES = frozenset(
+    {
+        "publish_term",
+        "unpublish_term",
+        "publish_batch",
+        "unpublish_batch",
+        "poll_queries",
+        "poll_batch",
+        "query_batch",
+    }
+)
+QUERY_PATH_KIND_NAMES = frozenset(
+    {
+        "search_term",
+        "postings",
+        "result_probe",
+        "result_value",
+        "result_store",
+        "version_probe",
+        "version_value",
+    }
+)
+ROUTING_KIND_NAMES = frozenset({"lookup"})
+MAINTENANCE_KIND_NAMES = frozenset(
+    {"replicate", "heartbeat", "reconcile", "advise_hot_term"}
+)
+
+
+def category_of_kind(kind_name: str) -> str:
+    """Traffic category of a trace's kind string: ``"write"``,
+    ``"query"``, ``"routing"``, ``"maintenance"``, or ``"other"``."""
+    if kind_name in WRITE_PATH_KIND_NAMES:
+        return "write"
+    if kind_name in QUERY_PATH_KIND_NAMES:
+        return "query"
+    if kind_name in ROUTING_KIND_NAMES:
+        return "routing"
+    if kind_name in MAINTENANCE_KIND_NAMES:
+        return "maintenance"
+    return "other"
+
 
 @dataclass(frozen=True)
 class MessageTrace:
@@ -124,7 +170,22 @@ class TraceLog:
         dropped message's elapsed time is retry overhead, not a latency
         sample — while attempt/retry counters cover everything.
         """
-        records = self.filtered(kind=kind)
+        return self._rollup_records(self.filtered(kind=kind))
+
+    def category_rollup(self) -> Dict[str, TraceSummary]:
+        """One :class:`TraceSummary` per traffic category present in
+        the log (see :func:`category_of_kind`), so transport sweeps can
+        report write-path delivery/latency beside query traffic."""
+        buckets: Dict[str, List[MessageTrace]] = {}
+        for t in self._records:
+            buckets.setdefault(category_of_kind(t.kind), []).append(t)
+        return {
+            category: self._rollup_records(records)
+            for category, records in sorted(buckets.items())
+        }
+
+    @staticmethod
+    def _rollup_records(records: List[MessageTrace]) -> TraceSummary:
         delivered_latencies = [
             t.latency_ms for t in records if t.outcome == DELIVERED
         ]

@@ -11,12 +11,16 @@ Three cooperating pieces:
   ``benchmarks/test_bench_perf.py`` and the ``perf`` CLI subcommand;
 * :mod:`repro.perf.topk` — the ISSUE 4 three-mode top-k comparison
   (exhaustive vs early-termination vs early-termination + result cache)
-  behind ``benchmarks/test_bench_topk.py`` and ``perf --mode topk``.
+  behind ``benchmarks/test_bench_topk.py`` and ``perf --mode topk``;
+* :mod:`repro.perf.ingest` — the ISSUE 5 three-arm write-path
+  comparison (seed per-term vs route-cached per-term vs
+  destination-grouped batched) behind ``benchmarks/test_bench_ingest.py``
+  and ``perf --mode ingest``.
 
-``bench`` and ``topk`` are deliberately *not* imported here: they build
-rings and query processors, and the ring itself imports this package for
-``PROFILE`` / ``RouteCache`` — import them explicitly as
-``repro.perf.bench`` / ``repro.perf.topk``.
+``bench``, ``topk``, and ``ingest`` are deliberately *not* imported
+here: they build rings and query processors, and the ring itself imports
+this package for ``PROFILE`` / ``RouteCache`` — import them explicitly
+as ``repro.perf.bench`` / ``repro.perf.topk`` / ``repro.perf.ingest``.
 """
 
 from .profile import PROFILE, PerfProfile

@@ -25,6 +25,7 @@ from .oracle import (
     FullIndexSystem,
     OracleReport,
     RankingMismatch,
+    write_state_fingerprint,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "build_simulation",
     "random_scenario",
     "scenario",
+    "write_state_fingerprint",
 ]

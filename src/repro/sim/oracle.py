@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Three comparisons, all on a churn-free ring:
+Four comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -22,6 +22,18 @@ Three comparisons, all on a churn-free ring:
   second round is served from the result caches, which must still be
   bit-identical.
 
+* **Ingest-path equivalence** — the ISSUE 5 batched write path
+  (destination-grouped bulk publish/unpublish, coalesced learning
+  polls) must leave the *entire write-visible state* of the system
+  bit-identical to the per-term path: every slot's postings,
+  aggregates, and query-cache cursor position, the global order in
+  which slot versions were assigned, and every owner's index terms,
+  poll cursors, and learner statistics.  The oracle replays a full
+  bulk-ingest flow — bulk share, training registration, learning,
+  then a withdraw/re-share churn cycle — through a batched and a
+  legacy system and compares :func:`write_state_fingerprint` plus
+  every test-query ranking exactly.
+
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
   the true corpus size, SPRITE's distributed computation degenerates to
@@ -40,9 +52,67 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import ChordConfig, SpriteConfig
 from ..corpus.corpus import Corpus
 from ..corpus.relevance import Query
+from ..core.metadata import TermSlot
 from ..core.system import DistributedSystem, SpriteSystem
 from ..ir.centralized import CentralizedSystem
 from ..ir.ranking import RankedList
+
+
+def write_state_fingerprint(system: DistributedSystem) -> Dict[str, object]:
+    """Everything the write path can influence, as a comparable value.
+
+    Three parts:
+
+    ``slots``
+        Per (indexing peer, term): the postings in publish order, the
+        slot aggregates (indexed df, max-impact bound), and the query
+        cache's latest sequence number.
+    ``version_rank``
+        The slot keys sorted by slot version.  Versions come from one
+        process-global counter, so their *absolute* values differ
+        between two separately built systems — but the batched path
+        applies mutations in exactly the per-term path's order, so the
+        *rank order* of final slot versions must coincide.
+    ``owners``
+        Per (owner peer, shared document): index terms in selection
+        order, poll cursors, iterations run, the learner's raw
+        statistics, and its current rank list.
+    """
+    slots: Dict[Tuple[int, str], object] = {}
+    versions: List[Tuple[int, Tuple[int, str]]] = []
+    for node in system.ring.nodes.values():
+        for value in node.store.values():
+            if not isinstance(value, TermSlot):
+                continue
+            key = (node.node_id, value.term)
+            slots[key] = (
+                tuple(value.entries()),
+                value.indexed_document_frequency,
+                value.max_impact,
+                value.cache.latest_sequence,
+            )
+            versions.append((value.version, key))
+    versions.sort()
+    owners: Dict[Tuple[int, str], object] = {}
+    for node_id, owner in system.owners.items():
+        for doc_id, state in owner.shared.items():
+            owners[(node_id, doc_id)] = (
+                tuple(state.index_terms),
+                tuple(sorted(state.poll_cursors.items())),
+                state.learning_iterations_run,
+                tuple(
+                    sorted(
+                        (term, (s.max_qscore, s.query_frequency))
+                        for term, s in state.learner.stats.items()
+                    )
+                ),
+                tuple((rt.term, rt.score) for rt in state.learner.rank_list()),
+            )
+    return {
+        "slots": slots,
+        "version_rank": tuple(key for __, key in versions),
+        "owners": owners,
+    }
 
 
 @dataclass(frozen=True)
@@ -119,7 +189,10 @@ class DifferentialOracle:
         )
 
     def _sprite_config(
-        self, early_termination: bool = True, result_cache_size: int = 0
+        self,
+        early_termination: bool = True,
+        result_cache_size: int = 0,
+        batched_writes: bool = True,
     ) -> SpriteConfig:
         return SpriteConfig(
             initial_terms=3,
@@ -131,6 +204,7 @@ class DifferentialOracle:
             top_k_answers=self.top_k,
             early_termination=early_termination,
             result_cache_size=result_cache_size,
+            batched_writes=batched_writes,
         )
 
     def _build_sprite(self, optimized: bool) -> SpriteSystem:
@@ -258,7 +332,66 @@ class DifferentialOracle:
             chord_config=self._chord_config(optimized=True),
         )
 
-    # -- comparison 3: full-index SPRITE vs centralized TF-IDF ---------------
+    # -- comparison 3: batched vs per-term write path ------------------------
+
+    def check_ingest_paths(self) -> OracleReport:
+        """Replay a bulk-ingest flow — bulk share, training
+        registration, learning, then withdrawing and re-sharing a fifth
+        of the corpus — through a batched-writes and a per-term system;
+        the full write-state fingerprint and every test-query ranking
+        must match exactly."""
+        report = OracleReport(name="ingest-paths")
+        batched = self._build_ingest_sprite(batched_writes=True)
+        legacy = self._build_ingest_sprite(batched_writes=False)
+        docs = list(self.corpus)
+        churn_ids = [
+            d.doc_id for d in docs[: max(1, math.ceil(len(docs) / 5))]
+        ]
+        for system in (batched, legacy):
+            system.bulk_share()
+            system.register_queries(self.train)
+            system.run_learning()
+            system.bulk_unshare(churn_ids)
+            system.bulk_share(
+                [system.corpus.get(doc_id) for doc_id in churn_ids]
+            )
+        fast = write_state_fingerprint(batched)
+        slow = write_state_fingerprint(legacy)
+        for part in ("slots", "version_rank", "owners"):
+            if fast[part] != slow[part]:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id="<state>",
+                        detail=(
+                            f"write-state {part} diverged between the "
+                            "batched and per-term publication paths"
+                        ),
+                    )
+                )
+        for query in self.test:
+            grouped = _pairs(batched.search(query, cache=False))
+            per_term = _pairs(legacy.search(query, cache=False))
+            report.queries_compared += 1
+            if grouped != per_term:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=(
+                            f"batched={grouped[:3]}... "
+                            f"per-term={per_term[:3]}..."
+                        ),
+                    )
+                )
+        return report
+
+    def _build_ingest_sprite(self, batched_writes: bool) -> SpriteSystem:
+        return SpriteSystem(
+            self.corpus,
+            sprite_config=self._sprite_config(batched_writes=batched_writes),
+            chord_config=self._chord_config(optimized=True),
+        )
+
+    # -- comparison 4: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
         """At F = ∞ with the assumed corpus size pinned to the true
@@ -313,6 +446,7 @@ class DifferentialOracle:
         reports = [
             self.check_perf_paths(),
             self.check_topk_paths(),
+            self.check_ingest_paths(),
             self.check_centralized_baseline(),
         ]
         return {r.name: r for r in reports}

@@ -51,17 +51,25 @@ class Analyzer:
         Order and multiplicity are preserved so callers can compute term
         frequencies and positional statistics.
 
+        A single pass with a per-call token → term memo: each distinct
+        raw token pays the stop-word check and stem once per document
+        instead of once per occurrence (``None`` marks a dropped token).
+
         >>> Analyzer().analyze("The retrieving peers are retrieving")
         ['retriev', 'peer', 'retriev']
         """
         terms = []
+        memo: dict[str, str | None] = {}
         for token in self.tokenizer.iter_tokens(text):
-            if token in self.stop_words:
-                continue
-            if self.enable_stemming:
-                token = self.stemmer.stem(token)
-            if token:
-                terms.append(token)
+            if token in memo:
+                final = memo[token]
+            elif token in self.stop_words:
+                final = memo[token] = None
+            else:
+                final = self.stemmer.stem(token) if self.enable_stemming else token
+                memo[token] = final if final else None
+            if final:
+                terms.append(final)
         return terms
 
     def term_frequencies(self, text: str) -> Counter:

@@ -13,6 +13,10 @@ swap in a different stemmer implementation behind the same interface).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from ..perf.profile import PROFILE
+
 _VOWELS = frozenset("aeiou")
 
 
@@ -86,14 +90,40 @@ def _ends_cvc(word: str) -> bool:
 class PorterStemmer:
     """Reusable Porter stemmer.
 
-    Stateless — a single shared instance is safe to use from anywhere.
     Words shorter than three characters are returned unchanged, as in
     Porter's reference implementation.
+
+    The pipeline is pure, so each instance memoizes it with an
+    ``lru_cache`` (the same treatment ``md5_hash`` got in the DHT
+    layer): corpora repeat their vocabulary constantly, and re-running
+    all eight suffix steps per token dominated analysis time.  Cache
+    hits/misses are counted under ``stem.cache_*`` when :data:`PROFILE`
+    is enabled.
     """
+
+    #: Bound on distinct lower-cased tokens memoized per instance.
+    CACHE_SIZE = 1 << 16
+
+    def __init__(self) -> None:
+        self._cached = lru_cache(maxsize=self.CACHE_SIZE)(self._stem_uncached)
 
     def stem(self, word: str) -> str:
         """Return the Porter stem of *word* (lower-cased)."""
-        word = word.lower()
+        if not PROFILE.enabled:
+            return self._cached(word.lower())
+        before = self._cached.cache_info().hits
+        result = self._cached(word.lower())
+        if self._cached.cache_info().hits > before:
+            PROFILE.count("stem.cache_hits")
+        else:
+            PROFILE.count("stem.cache_misses")
+        return result
+
+    def cache_info(self):
+        """Hit/miss statistics of the memoized pipeline."""
+        return self._cached.cache_info()
+
+    def _stem_uncached(self, word: str) -> str:
         if len(word) <= 2:
             return word
         word = self._step1a(word)

@@ -97,3 +97,91 @@ class TestSizeConstants:
             postings_message(1, 2, 5).size_bytes
             == QUERY_HEADER_BYTES + 5 * POSTING_BYTES
         )
+
+
+class TestCategories:
+    """The four-way traffic partition feeding the per-category rollups
+    (ISSUE 5): every kind categorized, no kind in two buckets."""
+
+    def test_partition_is_total(self) -> None:
+        from repro.dht.messages import category_of
+
+        for kind in ALL_KINDS:
+            assert category_of(kind) in {
+                "write",
+                "query",
+                "routing",
+                "maintenance",
+            }
+
+    def test_partition_is_disjoint(self) -> None:
+        from repro.dht.messages import (
+            MAINTENANCE_KINDS,
+            QUERY_PATH_KINDS,
+            ROUTING_KINDS,
+            WRITE_PATH_KINDS,
+        )
+
+        buckets = (
+            WRITE_PATH_KINDS,
+            QUERY_PATH_KINDS,
+            ROUTING_KINDS,
+            MAINTENANCE_KINDS,
+        )
+        assert sum(len(b) for b in buckets) == len(ALL_KINDS)
+        assert frozenset().union(*buckets) == frozenset(ALL_KINDS)
+
+    def test_batch_kinds_are_write_path(self) -> None:
+        from repro.dht.messages import WRITE_PATH_KINDS, category_of
+
+        for kind in (
+            MessageKind.PUBLISH_BATCH,
+            MessageKind.UNPUBLISH_BATCH,
+            MessageKind.POLL_BATCH,
+        ):
+            assert kind in WRITE_PATH_KINDS
+            assert category_of(kind) == "write"
+
+
+class TestBatchFactories:
+    """Wire sizes of the destination-grouped write messages."""
+
+    def test_publish_batch_scales_with_postings(self) -> None:
+        from repro.dht.messages import publish_batch_message
+
+        msg = publish_batch_message(1, 2, 5, hops=3)
+        assert msg.kind is MessageKind.PUBLISH_BATCH
+        assert msg.hops == 3
+        assert (
+            msg.size_bytes
+            == QUERY_HEADER_BYTES + 5 * (TERM_BYTES + POSTING_BYTES)
+        )
+
+    def test_unpublish_batch_carries_term_docid_pairs(self) -> None:
+        from repro.dht.messages import unpublish_batch_message
+
+        msg = unpublish_batch_message(1, 2, 4, hops=2)
+        assert msg.kind is MessageKind.UNPUBLISH_BATCH
+        assert msg.size_bytes == QUERY_HEADER_BYTES + 4 * (TERM_BYTES + TERM_BYTES)
+
+    def test_poll_batch_carries_cursors_and_index_hashes(self) -> None:
+        from repro.dht.messages import VERSION_BYTES, poll_batch_message
+
+        msg = poll_batch_message(1, 2, num_terms=3, num_index_terms=5, hops=4)
+        assert msg.kind is MessageKind.POLL_BATCH
+        assert (
+            msg.size_bytes
+            == QUERY_HEADER_BYTES
+            + 3 * (TERM_BYTES + VERSION_BYTES)
+            + 5 * TERM_BYTES
+        )
+
+    def test_batch_of_n_cheaper_than_n_singles(self) -> None:
+        from repro.dht.messages import publish_batch_message
+
+        n = 8
+        batch = publish_batch_message(1, 2, n, hops=1)
+        singles = n * publish_message(1, 2, 1).size_bytes
+        # Each single message also pays its own header; the batch pays
+        # one header for all n postings.
+        assert batch.size_bytes < singles + n * QUERY_HEADER_BYTES

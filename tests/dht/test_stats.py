@@ -159,3 +159,45 @@ class TestPerKindBreakdown:
             delta[MessageKind.SEARCH_TERM]
         )
         assert merged == stats.kind(MessageKind.SEARCH_TERM)
+
+
+class TestCategorySummary:
+    def test_folds_kinds_into_categories(self) -> None:
+        stats = NetworkStats()
+        stats.record(msg(MessageKind.PUBLISH_TERM, size=10, hops=1))
+        stats.record(msg(MessageKind.PUBLISH_BATCH, size=40, hops=2))
+        stats.record(msg(MessageKind.POLL_BATCH, size=30, hops=1))
+        stats.record(msg(MessageKind.SEARCH_TERM, size=20, hops=3))
+        stats.record(msg(MessageKind.HEARTBEAT, size=5, hops=0))
+        summary = stats.category_summary()
+        assert set(summary) == {"write", "query", "maintenance"}
+        assert summary["write"]["messages"] == 3
+        assert summary["write"]["bytes"] == 80
+        assert summary["query"]["messages"] == 1
+        assert summary["maintenance"]["messages"] == 1
+
+    def test_only_categories_with_traffic_appear(self) -> None:
+        stats = NetworkStats()
+        assert stats.category_summary() == {}
+        stats.record(msg(MessageKind.LOOKUP, size=1, hops=1))
+        assert list(stats.category_summary()) == ["routing"]
+
+    def test_category_totals_reconcile_with_kind_totals(self) -> None:
+        stats = NetworkStats()
+        for kind in (
+            MessageKind.PUBLISH_BATCH,
+            MessageKind.UNPUBLISH_BATCH,
+            MessageKind.POSTINGS,
+            MessageKind.REPLICATE,
+            MessageKind.LOOKUP,
+        ):
+            stats.record(msg(kind, size=10, hops=2))
+        by_category = stats.category_summary()
+        assert (
+            sum(entry["messages"] for entry in by_category.values())
+            == stats.total_messages
+        )
+        assert (
+            sum(entry["bytes"] for entry in by_category.values())
+            == stats.total_bytes
+        )

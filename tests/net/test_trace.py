@@ -125,3 +125,60 @@ class TestSummaryTable:
         log.clear()
         assert len(log) == 0
         assert log.rollup().messages == 0
+
+
+class TestCategoryRollup:
+    def test_buckets_by_traffic_category(self) -> None:
+        log = TraceLog()
+        log.record(trace(kind="publish_batch"))
+        log.record(trace(kind="poll_batch"))
+        log.record(trace(kind="search_term"))
+        log.record(trace(kind="lookup"))
+        log.record(trace(kind="made_up_kind"))
+        rollup = log.category_rollup()
+        assert set(rollup) == {"write", "query", "routing", "other"}
+        assert rollup["write"].messages == 2
+        assert rollup["query"].messages == 1
+        assert rollup["other"].messages == 1
+
+    def test_category_messages_sum_to_total(self) -> None:
+        log = TraceLog()
+        for kind in ("publish_term", "unpublish_batch", "postings", "heartbeat"):
+            log.record(trace(kind=kind))
+        rollup = log.category_rollup()
+        assert sum(s.messages for s in rollup.values()) == log.rollup().messages
+
+    def test_category_of_kind_spans_all_labels(self) -> None:
+        from repro.net.trace import category_of_kind
+
+        assert category_of_kind("publish_batch") == "write"
+        assert category_of_kind("result_probe") == "query"
+        assert category_of_kind("lookup") == "routing"
+        assert category_of_kind("reconcile") == "maintenance"
+        assert category_of_kind("synthetic") == "other"
+
+
+class TestKindNameSync:
+    """repro.net must stay import-independent of repro.dht, so its
+    category frozensets are plain-string mirrors of the MessageKind
+    partition — this pins the two copies together."""
+
+    def test_trace_categories_mirror_message_kinds(self) -> None:
+        from repro.dht import messages as m
+        from repro.net import trace as t
+
+        pairs = (
+            (m.WRITE_PATH_KINDS, t.WRITE_PATH_KIND_NAMES),
+            (m.QUERY_PATH_KINDS, t.QUERY_PATH_KIND_NAMES),
+            (m.ROUTING_KINDS, t.ROUTING_KIND_NAMES),
+            (m.MAINTENANCE_KINDS, t.MAINTENANCE_KIND_NAMES),
+        )
+        for kinds, names in pairs:
+            assert frozenset(kind.value for kind in kinds) == names
+
+    def test_every_message_kind_categorized_by_name(self) -> None:
+        from repro.dht.messages import ALL_KINDS, category_of
+        from repro.net.trace import category_of_kind
+
+        for kind in ALL_KINDS:
+            assert category_of_kind(kind.value) == category_of(kind)

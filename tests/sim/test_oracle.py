@@ -1,12 +1,12 @@
-"""The differential oracle: perf paths, top-k paths, and the
-centralized baseline."""
+"""The differential oracle: perf paths, top-k paths, ingest paths,
+and the centralized baseline."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.corpus.synthetic import SyntheticTrecCorpus
-from repro.sim import DifferentialOracle, FullIndexSystem
+from repro.sim import DifferentialOracle, FullIndexSystem, write_state_fingerprint
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +61,30 @@ class TestTopKPaths:
         assert exhaustive.ring.live_ids == served.ring.live_ids
 
 
+class TestIngestPaths:
+    def test_batched_and_per_term_state_bit_identical(self, oracle) -> None:
+        report = oracle.check_ingest_paths()
+        assert report.queries_compared > 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+    def test_builders_differ_only_in_write_switch(self, oracle) -> None:
+        batched = oracle._build_ingest_sprite(batched_writes=True)
+        legacy = oracle._build_ingest_sprite(batched_writes=False)
+        assert batched.config.batched_writes
+        assert not legacy.config.batched_writes
+        assert batched.ring.live_ids == legacy.ring.live_ids
+
+    def test_fingerprint_sees_slot_and_owner_state(self, workload) -> None:
+        corpus, __, __ = workload
+        oracle = DifferentialOracle(corpus, [], [], num_peers=16, seed=0)
+        system = oracle._build_ingest_sprite(batched_writes=True)
+        system.bulk_share()
+        fingerprint = write_state_fingerprint(system)
+        assert fingerprint["slots"], "expected published term slots"
+        assert fingerprint["owners"], "expected owner-side shared state"
+        assert len(fingerprint["version_rank"]) == len(fingerprint["slots"])
+
+
 class TestCentralizedBaseline:
     def test_full_index_matches_centralized_tfidf(self, oracle) -> None:
         report = oracle.check_centralized_baseline()
@@ -84,6 +108,7 @@ class TestCheckAll:
         assert set(reports) == {
             "perf-paths",
             "topk-paths",
+            "ingest-paths",
             "centralized-baseline",
         }
         assert all(r.ok for r in reports.values())

@@ -89,12 +89,25 @@ class TestNet:
         assert code == 0
         lines = [l for l in output.splitlines() if l.strip()]
         # lines[0] is the run preamble; the table follows.
-        assert lines[1].split() == ["drop", "ok", "failed", "retries", "p50_ms", "p99_ms"]
+        assert lines[1].split() == [
+            "drop", "ok", "failed", "retries", "p50_ms", "p99_ms", "by", "category",
+        ]
         rows = [l.split() for l in lines[2:]]
         assert [r[0] for r in rows] == ["0.00", "0.20"]
         retries = [int(r[3]) for r in rows]
         assert retries[0] == 0  # no loss, no retries
         assert retries[1] > retries[0]
+
+    def test_sweep_rows_carry_category_breakdown(self) -> None:
+        code, output = run_cli(
+            "net", "--small", "--sweep", "0.0", "--lookups", "40",
+            "--net-seed", "3",
+        )
+        assert code == 0
+        row = [l for l in output.splitlines() if l.startswith("0.00")][0]
+        # Lookup-only traffic: the rollup shows a single routing bucket.
+        assert "routing=" in row
+        assert "write=" not in row
 
     def test_net_seed_reproducible(self) -> None:
         argv = ("net", "--small", "--sweep", "0.1", "--lookups", "80",
@@ -162,6 +175,35 @@ class TestPerf:
         payload = json.loads(output[output.index("{"):])
         assert payload["optimized"] is True
         assert payload["queries_per_s"] > 0
+
+    def test_perf_topk_small_prints_four_modes(self) -> None:
+        code, output = run_cli("perf", "--mode", "topk", "--small")
+        assert code == 0
+        for mode in ("legacy", "batched", "topk", "cached"):
+            assert mode in output
+        assert "ranking checksums MATCH" in output
+
+    def test_perf_ingest_small_prints_three_arms(self) -> None:
+        code, output = run_cli("perf", "--mode", "ingest", "--small")
+        assert code == 0
+        for arm in ("legacy", "per_term", "batched"):
+            assert arm in output
+        assert "docs/s build" in output
+        assert "stem cache" in output
+        assert "ranking checksums MATCH" in output
+
+    def test_perf_ingest_json_record(self) -> None:
+        import json
+
+        code, output = run_cli("perf", "--mode", "ingest", "--small", "--json")
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["checksums_match"] is True
+        assert payload["speedup_build"] > 0
+        assert (
+            payload["batched"]["publish_messages_per_doc"]
+            < payload["legacy"]["publish_messages_per_doc"]
+        )
 
 
 class TestGenerate:

@@ -205,3 +205,64 @@ def test_plural_s_stripped(word: str) -> None:
     plural = word + "es" if word.endswith(("s", "x")) else word + "s"
     # Just confirm no crash and output is a prefix-ish transform.
     assert isinstance(stem(plural), str)
+
+
+class TestMemoization:
+    """The ingest-time fast path (ISSUE 5): the pure pipeline is
+    lru_cache-memoized per stemmer instance, with hit/miss counters
+    surfacing through PROFILE when profiling is on."""
+
+    def test_repeat_words_hit_the_cache(self) -> None:
+        stemmer = PorterStemmer()
+        assert stemmer.stem("running") == "run"
+        info = stemmer.cache_info()
+        assert (info.hits, info.misses) == (0, 1)
+        assert stemmer.stem("running") == "run"
+        info = stemmer.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_case_variants_share_one_entry(self) -> None:
+        stemmer = PorterStemmer()
+        stemmer.stem("Jumping")
+        stemmer.stem("JUMPING")
+        stemmer.stem("jumping")
+        info = stemmer.cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+
+    def test_memoized_matches_uncached_pipeline(self) -> None:
+        stemmer = PorterStemmer()
+        for word, expected in KNOWN_STEMS:
+            assert stemmer.stem(word) == expected
+            assert stemmer.stem(word) == expected  # cached round
+
+    def test_instances_have_independent_caches(self) -> None:
+        a, b = PorterStemmer(), PorterStemmer()
+        a.stem("walking")
+        assert a.cache_info().currsize == 1
+        assert b.cache_info().currsize == 0
+
+    def test_profile_counters_when_enabled(self) -> None:
+        from repro.perf import PROFILE
+
+        PROFILE.reset()
+        PROFILE.enable()
+        try:
+            stemmer = PorterStemmer()
+            stemmer.stem("singing")
+            stemmer.stem("singing")
+            stemmer.stem("singing")
+            counters = PROFILE.summary()["counters"]
+        finally:
+            PROFILE.disable()
+        assert counters["stem.cache_misses"] == 1
+        assert counters["stem.cache_hits"] == 2
+
+    def test_no_profile_counters_when_disabled(self) -> None:
+        from repro.perf import PROFILE
+
+        PROFILE.reset()
+        stemmer = PorterStemmer()
+        stemmer.stem("singing")
+        stemmer.stem("singing")
+        assert "stem.cache_hits" not in PROFILE.summary().get("counters", {})
