@@ -1,0 +1,176 @@
+"""Tracked durable-store benchmark (ISSUE 6).
+
+Runs the :mod:`repro.perf.store` comparison — the in-RAM columnar
+backend, plain SQLite, and Bloom-fronted SQLite over one seeded
+ingest + learn + query workload, plus the snapshot-vs-full crash
+recovery head-to-head — asserts all backends produce identical ranking
+checksums, and records the measurements into
+``benchmarks/BENCH_STORE.json`` so subsequent PRs have a trajectory to
+compare against.
+
+Scales (``BENCH_STORE_SCALE``):
+
+* ``smoke`` (default) — 60 peers / 50 documents, a few seconds; what
+  CI's store smoke job runs.
+* ``paper`` — the tracked 400-peer / 300-document workload from the
+  issue's acceptance criteria (snapshot recovery must ship measurably
+  fewer postings and bytes than a full resync of the same crash).
+
+Regression guard: with ``BENCH_STORE_ENFORCE=1`` the run fails if the
+fresh Bloom-fronted SQLite build docs/sec drops more than 30% below the
+committed record for the same scale (CI sets this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.store import (
+    run_store_comparison,
+    store_paper_config,
+    store_smoke_config,
+)
+
+RECORD_PATH = Path(__file__).parent / "BENCH_STORE.json"
+SCALE = os.environ.get("BENCH_STORE_SCALE", "smoke")
+ENFORCE = os.environ.get("BENCH_STORE_ENFORCE", "") == "1"
+#: Max tolerated build-docs/sec regression vs the committed record (30%).
+REGRESSION_FLOOR = 0.7
+
+
+def _format_table(comparison) -> str:
+    arms = ("memory", "sqlite", "sqlite_bloom")
+    lines = [
+        f"store workload [{SCALE}]: "
+        f"{comparison.memory.num_peers} peers, "
+        f"{comparison.memory.num_documents} documents",
+        f"{'backend':<14} {'docs/s':>10} {'queries/s':>10} {'snap ms':>9}",
+    ]
+    for name in arms:
+        result = getattr(comparison, name)
+        label = name.replace("_", "+")
+        lines.append(
+            f"{label:<14} {result.docs_per_s_build:>10.2f} "
+            f"{result.queries_per_s:>10.2f} "
+            f"{result.snapshot_s * 1000:>9.1f}"
+        )
+    lines.append(f"durability build cost: {comparison.sqlite_build_cost:.2f}x")
+    lines.append(f"bloom front build gain: {comparison.bloom_build_gain:.2f}x")
+    snap, full = comparison.recovery_snapshot, comparison.recovery_full
+    lines.append(
+        f"recovery[snapshot]: {snap.report['messages_sent']} msgs, "
+        f"{snap.report['postings_shipped']} postings, "
+        f"{snap.report['bytes_shipped']} bytes"
+    )
+    lines.append(
+        f"recovery[full]:     {full.report['messages_sent']} msgs, "
+        f"{full.report['postings_shipped']} postings, "
+        f"{full.report['bytes_shipped']} bytes"
+    )
+    lines.append(
+        f"full/snapshot ratios: {comparison.recovery_message_ratio:.2f}x "
+        f"messages, {comparison.recovery_posting_ratio:.2f}x postings"
+    )
+    lines.append(f"ranking checksums identical: {comparison.checksums_match}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def measurements(record_result, tmp_path_factory):
+    base = store_paper_config() if SCALE == "paper" else store_smoke_config()
+    root = tmp_path_factory.mktemp("bench-store")
+    cfg = base.replaced(
+        store_dir=str(root / "store"), snapshot_dir=str(root / "snaps")
+    )
+    committed = {}
+    if RECORD_PATH.exists():
+        committed = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+
+    comparison = run_store_comparison(cfg)
+
+    record = dict(committed)
+    record[SCALE] = {
+        "workload": {
+            "num_peers": cfg.num_peers,
+            "num_documents": cfg.num_documents,
+            "num_ingest_peers": cfg.num_ingest_peers,
+            "vocabulary_size": cfg.vocabulary_size,
+            "churn_slice": cfg.churn_slice,
+            "seed": cfg.seed,
+        },
+        **comparison.to_dict(),
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    record_result("store", _format_table(comparison))
+    return {"comparison": comparison, "committed": committed}
+
+
+def test_bench_store_workload(benchmark, measurements, tmp_path) -> None:
+    """Time one Bloom-fronted SQLite smoke run for the benchmark table."""
+    from repro.perf.store import run_store_workload
+
+    cfg = store_smoke_config().replaced(
+        store_dir=str(tmp_path / "store"), snapshot_dir=str(tmp_path / "snaps")
+    )
+    benchmark.pedantic(run_store_workload, args=(cfg,), rounds=1, iterations=1)
+
+
+class TestEquivalence:
+    def test_all_backends_rank_identically(self, measurements) -> None:
+        assert measurements["comparison"].checksums_match
+
+    def test_durable_arms_actually_persist(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        for result in (comparison.sqlite, comparison.sqlite_bloom):
+            assert result.store["db_bytes"] > 0
+            assert result.store["postings"] > 0
+            assert result.snapshot_peers > 0
+            assert result.snapshot_bytes > 0
+
+    def test_bloom_front_skips_existence_probes(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        plain = comparison.sqlite.profile["counters"]
+        fronted = comparison.sqlite_bloom.profile["counters"]
+        assert fronted.get("store.bloom_insert_skips", 0) > 0
+        assert fronted.get("store.point_reads", 0) < plain.get(
+            "store.point_reads", 0
+        )
+
+
+class TestRecoverySavings:
+    def test_both_modes_recover_the_same_crash(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        snap, full = comparison.recovery_snapshot, comparison.recovery_full
+        assert snap.victim == full.victim
+        assert (
+            snap.report["postings_authoritative"]
+            == full.report["postings_authoritative"]
+        )
+
+    def test_snapshot_mode_ships_measurably_less(self, measurements) -> None:
+        comparison = measurements["comparison"]
+        snap, full = comparison.recovery_snapshot, comparison.recovery_full
+        assert snap.report["postings_shipped"] < full.report["postings_shipped"]
+        assert snap.report["bytes_shipped"] < full.report["bytes_shipped"]
+        assert comparison.recovery_posting_ratio > 1.0
+
+
+class TestRegressionGuard:
+    def test_build_docs_per_s_vs_committed_record(self, measurements) -> None:
+        committed = measurements["committed"].get(SCALE)
+        if not committed:
+            pytest.skip(f"no committed record for scale {SCALE!r} yet")
+        if not ENFORCE:
+            pytest.skip("BENCH_STORE_ENFORCE not set (informational run)")
+        previous = committed["sqlite_bloom"]["docs_per_s_build"]
+        current = measurements["comparison"].sqlite_bloom.docs_per_s_build
+        assert current >= REGRESSION_FLOOR * previous, (
+            f"sqlite+bloom build docs/sec regressed: {current:.0f} vs "
+            f"committed {previous:.0f} (floor {REGRESSION_FLOOR:.0%})"
+        )

@@ -25,9 +25,12 @@ check       Run the verification harness (repro.sim): execute a scenario
 All commands accept ``--small`` (test-sized corpus, seconds) and
 ``--seed`` (reproducibility), plus the network-model flags
 (``--transport lossy --drop 0.1 --latency-model lognormal ...``) that
-route every simulated message through :mod:`repro.net`.  Results print
-as the same tables the benchmark harness records, plus ASCII charts of
-the figure shapes.
+route every simulated message through :mod:`repro.net`.  ``perf`` and
+``check`` additionally take the durable-store flags
+(``--store-backend sqlite --store-dir ... --snapshot-dir ...
+--snapshot-interval N``) selecting the :mod:`repro.store` backend.
+Results print as the same tables the benchmark harness records, plus
+ASCII charts of the figure shapes.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from typing import List, Optional
 from .config import (
     ExperimentConfig,
     LATENCY_MODELS,
+    STORE_BACKENDS,
     TRANSPORT_KINDS,
     paper_experiment_config,
     small_experiment_config,
@@ -122,6 +126,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     net.add_argument("--retries", type=int, help="max retransmissions per message")
     net.add_argument("--net-seed", type=int, help="transport RNG seed (fault replay)")
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    """Flags for the durable posting store (repro.store, DESIGN.md §12)."""
+    store = parser.add_argument_group("durable store (repro.store)")
+    store.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default="memory",
+        help="posting-store backend (default: memory — the in-RAM store)",
+    )
+    store.add_argument(
+        "--store-dir",
+        default="",
+        help="directory for the SQLite database (default: a self-cleaning "
+        "temporary directory)",
+    )
+    store.add_argument(
+        "--snapshot-dir",
+        default="",
+        help="snapshot root (default: <store-dir>/snapshots)",
+    )
+    store.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=0,
+        help="checkpoint every N applied scenario events (0 = only "
+        "explicit snapshot events)",
+    )
 
 
 def _build_env(args: argparse.Namespace, out) -> object:
@@ -334,6 +367,8 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         return _cmd_perf_topk(args, out)
     if args.mode == "ingest":
         return _cmd_perf_ingest(args, out)
+    if args.mode == "store":
+        return _cmd_perf_store(args, out)
     cfg = smoke_config() if args.small else paper_scale_config()
     cfg = cfg.replaced(optimized=not args.baseline, seed=args.seed)
     mode = "baseline (optimizations off)" if args.baseline else "optimized"
@@ -470,6 +505,77 @@ def _cmd_perf_ingest(args: argparse.Namespace, out) -> int:
     return 0 if comparison.checksums_match else 1
 
 
+def _cmd_perf_store(args: argparse.Namespace, out) -> int:
+    """Run the store backend + recovery comparison (ISSUE 6) and print it."""
+    import json
+
+    from .perf.store import (
+        run_store_comparison,
+        store_paper_config,
+        store_smoke_config,
+    )
+
+    cfg = store_smoke_config() if args.small else store_paper_config()
+    cfg = cfg.replaced(
+        seed=args.seed,
+        store_dir=getattr(args, "store_dir", "") or "",
+        snapshot_dir=getattr(args, "snapshot_dir", "") or "",
+    )
+    out.write(
+        f"store comparison: {cfg.num_peers} peers, {cfg.num_documents} "
+        f"documents, churn delta {cfg.churn_slice}\n"
+    )
+    comparison = run_store_comparison(cfg)
+    if args.json:
+        out.write(json.dumps(comparison.to_dict(), indent=2) + "\n")
+        return 0
+    for name in ("memory", "sqlite", "sqlite_bloom"):
+        result = getattr(comparison, name)
+        out.write(
+            f"  {name:<13} {result.docs_per_s_build:>9.0f} docs/s build · "
+            f"{result.queries_per_s:>8.0f} queries/s · "
+            f"snapshot {result.snapshot_s:.2f}s "
+            f"({result.snapshot_peers} peers, {result.snapshot_bytes} B)\n"
+        )
+    out.write(
+        f"  durability cost ×{comparison.sqlite_build_cost:.2f} "
+        f"(memory over sqlite+bloom) · bloom gain "
+        f"×{comparison.bloom_build_gain:.2f}\n"
+    )
+    for name in ("recovery_snapshot", "recovery_full"):
+        rec = getattr(comparison, name)
+        rep = rec.report
+        out.write(
+            f"  {rec.mode:<9} recovery: {rep['messages_sent']} messages · "
+            f"{rep['postings_shipped']} postings · {rep['bytes_shipped']} B "
+            f"({rep['slots_matched']} matched / {rep['slots_changed']} changed "
+            f"/ {rep['slots_missing']} missing of {rep['slots_transferred']})\n"
+        )
+    out.write(
+        f"  recovery savings: ×{comparison.recovery_message_ratio:.2f} "
+        f"messages, ×{comparison.recovery_posting_ratio:.2f} postings\n"
+    )
+    store = comparison.sqlite_bloom.store
+    if store:
+        out.write(
+            f"  db: {store['db_bytes']} B, {store['postings']} postings in "
+            f"{store['live_slots']} live slots "
+            f"({store['slots_created']} created, "
+            f"{store['slots_retired']} retired) · "
+            f"pool: {store['open_connections']} connections, "
+            f"{store['checkouts']} checkouts\n"
+        )
+    out.write(
+        "  ranking checksums "
+        + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
+    )
+    snapshot_cheaper = (
+        comparison.recovery_snapshot.report["bytes_shipped"]
+        < comparison.recovery_full.report["bytes_shipped"]
+    )
+    return 0 if comparison.checksums_match and snapshot_cheaper else 1
+
+
 def cmd_check(args: argparse.Namespace, out) -> int:
     """Run the repro.sim verification harness.
 
@@ -489,6 +595,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     network = _config_from_args(args).network
     transport = build_transport(network) if network.transport != "perfect" else None
 
+    durable = args.store_backend == "sqlite"
     if args.scenario:
         try:
             scenario = Scenario.load(args.scenario)
@@ -497,16 +604,42 @@ def cmd_check(args: argparse.Namespace, out) -> int:
             return 2
         out.write(f"replaying {args.scenario}: {len(scenario)} events\n")
     else:
-        scenario = random_scenario(seed=args.seed, num_events=args.events)
+        scenario = random_scenario(
+            seed=args.seed, num_events=args.events, with_store=durable
+        )
         out.write(
-            f"random scenario: seed={args.seed}, {len(scenario)} events\n"
+            f"random scenario: seed={args.seed}, {len(scenario)} events"
+            + (" (durable-store events mixed in)\n" if durable else "\n")
         )
     engine = build_simulation(
-        seed=args.seed, num_peers=args.peers, transport=transport
+        seed=args.seed,
+        num_peers=args.peers,
+        transport=transport,
+        store_backend=args.store_backend,
+        store_dir=args.store_dir,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_interval=args.snapshot_interval,
     )
     report = engine.run(scenario)
     for line in report.summary_lines():
         out.write(line + "\n")
+    if engine.store_runtime is not None:
+        stats = engine.store_runtime.stats()
+        out.write(
+            f"store: {stats['postings']} postings in {stats['live_slots']} "
+            f"live slots · db {stats['db_bytes']} B · "
+            f"{stats['snapshots_saved']} snapshots saved, "
+            f"{stats['snapshots_loaded']} loaded · "
+            f"{engine.snapshots_taken} checkpoint passes\n"
+        )
+        for recovery in engine.recovery.log:
+            out.write(
+                f"  recovery peer {recovery.peer} [{recovery.mode}]: "
+                f"{recovery.messages_sent} messages, "
+                f"{recovery.postings_shipped} postings shipped "
+                f"(full baseline {recovery.full_baseline_messages} / "
+                f"{recovery.full_baseline_postings})\n"
+            )
 
     failed = not report.ok
     if not args.skip_oracle:
@@ -590,14 +723,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=("e2e", "topk", "ingest"),
+        choices=("e2e", "topk", "ingest", "store"),
         default="e2e",
         help="e2e: one workload run; topk: the four-mode top-k comparison "
         "(legacy / batched / early-termination / result-cached); ingest: "
         "the three-arm write-path comparison (seed per-term / route-cached "
-        "per-term / destination-grouped batched)",
+        "per-term / destination-grouped batched); store: the posting-store "
+        "backend comparison (memory / sqlite / sqlite+bloom) plus the "
+        "snapshot-vs-full crash-recovery comparison",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
+    _add_store(p)
     p.set_defaults(handler=cmd_perf)
 
     p = sub.add_parser(
@@ -619,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run only the scenario/invariant phase",
     )
+    _add_store(p)
     p.set_defaults(handler=cmd_check)
 
     p = sub.add_parser("generate", help="synthesize and save a collection")

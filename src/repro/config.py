@@ -28,6 +28,10 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigurationError(message)
 
 
+#: Posting-store backends :class:`SpriteConfig` may name.
+STORE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
+
+
 @dataclass(frozen=True)
 class SyntheticCorpusConfig:
     """Knobs for the synthetic TREC-like corpus generator.
@@ -142,6 +146,24 @@ class SpriteConfig:
     #: ``columnar_postings``); resulting index state and rankings are
     #: identical either way.
     batched_writes: bool = True
+    #: Posting persistence backend (DESIGN.md §12).  ``"memory"`` (the
+    #: default) keeps the in-RAM stores above; ``"sqlite"`` moves every
+    #: indexing peer's postings into a shared WAL-mode SQLite database
+    #: behind the same slot interface.  Rankings, slot versions, and
+    #: write-state fingerprints are bit-identical across backends (the
+    #: same off-switch discipline as ``columnar_postings``).
+    store_backend: str = "memory"
+    #: Directory for the SQLite database and (by default) snapshots.
+    #: Empty string means a self-cleaning temporary directory.
+    store_dir: str = ""
+    #: Snapshot root override; empty string means ``<store_dir>/snapshots``.
+    snapshot_dir: str = ""
+    #: Auto-checkpoint cadence in the simulator: snapshot every N applied
+    #: scenario events (0 disables periodic snapshots — on-demand only).
+    snapshot_interval: int = 0
+    #: Bloom-filter existence check in front of SQLite point lookups
+    #: (reuses :mod:`repro.dht.bloom`); irrelevant to the memory backend.
+    store_bloom: bool = True
 
     def __post_init__(self) -> None:
         _require(self.initial_terms >= 1, "initial_terms must be >= 1")
@@ -155,6 +177,11 @@ class SpriteConfig:
         _require(self.assumed_corpus_size >= 1, "assumed_corpus_size must be >= 1")
         _require(self.top_k_answers >= 1, "top_k_answers must be >= 1")
         _require(self.result_cache_size >= 0, "result_cache_size must be >= 0")
+        _require(
+            self.store_backend in STORE_BACKENDS,
+            f"store_backend must be one of {STORE_BACKENDS}",
+        )
+        _require(self.snapshot_interval >= 0, "snapshot_interval must be >= 0")
 
     @property
     def total_terms_after_learning(self) -> int:

@@ -110,6 +110,10 @@ class IndexingProtocol:
     result_cache_size:
         Capacity of each indexing peer's query-result cache; 0 disables
         result caching entirely (no probe/store traffic).
+    store_runtime:
+        Optional :class:`~repro.store.runtime.StoreRuntime`; when given,
+        newly created term slots persist their postings through it (the
+        SQLite backend) instead of the in-RAM stores.
     """
 
     def __init__(
@@ -118,11 +122,13 @@ class IndexingProtocol:
         query_cache_size: int = 2000,
         columnar_postings: bool = True,
         result_cache_size: int = 0,
+        store_runtime=None,
     ) -> None:
         self.ring = ring
         self.query_cache_size = query_cache_size
         self.columnar_postings = columnar_postings
         self.result_cache_size = result_cache_size
+        self.store_runtime = store_runtime
         self._result_caches: Dict[int, QueryResultCache] = {}
 
     # -- hashing ------------------------------------------------------------
@@ -154,10 +160,16 @@ class IndexingProtocol:
         key = self.term_hash(term)
         slot = node.adopt(key)
         if slot is None and create:
+            store = (
+                self.store_runtime.new_postings(node.node_id)
+                if self.store_runtime is not None
+                else None
+            )
             slot = TermSlot(
                 term=term,
                 cache=QueryCache(self.query_cache_size),
                 columnar=self.columnar_postings,
+                store=store,
             )
             node.put(key, slot)
         return slot

@@ -82,6 +82,29 @@ class QueryCache:
         self._entries: deque = deque()
         self._next_sequence = 0
 
+    @classmethod
+    def from_state(
+        cls,
+        capacity: int,
+        entries: Iterable[Tuple[Tuple[str, ...], int, int]],
+        next_sequence: int,
+    ) -> "QueryCache":
+        """Rebuild a cache from checkpointed state (``repro.store``
+        snapshots): the exact entries *and* the next sequence number, so
+        ``latest_sequence`` — which owner poll cursors and the write-state
+        fingerprint both observe — survives a save/load round trip."""
+        cache = cls(capacity)
+        for terms, query_hash, sequence in entries:
+            cache._entries.append(
+                CachedQuery(
+                    terms=tuple(terms),
+                    query_hash=int(query_hash),
+                    sequence=int(sequence),
+                )
+            )
+        cache._next_sequence = int(next_sequence)
+        return cache
+
     def add(self, terms: Tuple[str, ...], query_hash: int) -> CachedQuery:
         """Record one issued query; evicts the oldest beyond capacity."""
         entry = CachedQuery(
@@ -135,10 +158,17 @@ class TermSlot:
         cache: Optional[QueryCache] = None,
         columnar: bool = True,
         doc_table=None,
+        store=None,
     ) -> None:
         self.term = term
         self.cache = cache if cache is not None else QueryCache(capacity=2000)
-        self._store = ColumnarPostings(doc_table) if columnar else LegacyPostings()
+        # An explicit store (e.g. repro.store's SQLite backend) overrides
+        # the columnar/legacy switch; any object honouring the posting
+        # -store contract of repro.ir.postings works.
+        if store is not None:
+            self._store = store
+        else:
+            self._store = ColumnarPostings(doc_table) if columnar else LegacyPostings()
         self._view_version = -1
         self._entries_view: List[PostingEntry] = []
         self._inverted_view: Dict[str, PostingEntry] = {}
@@ -179,7 +209,15 @@ class TermSlot:
         """Apply one PUBLISH_BATCH run for this slot.  Each entry still
         draws its own global version tick (versions are the result
         cache's invalidation signal and must stay per-mutation), but the
-        derived views are rebuilt lazily at most once afterwards."""
+        derived views are rebuilt lazily at most once afterwards.  A
+        store with an ``add_many`` (the SQLite backend) gets the whole
+        run at once so it can wrap it in a single transaction."""
+        add_many = getattr(self._store, "add_many", None)
+        if add_many is not None:
+            add_many(
+                (e.doc_id, e.owner_peer, e.raw_tf, e.doc_length) for e in entries
+            )
+            return
         for entry in entries:
             self.add_posting(entry)
 

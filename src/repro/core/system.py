@@ -18,6 +18,7 @@ from ..corpus.relevance import Query
 from ..dht.ring import ChordRing
 from ..exceptions import LearningError
 from ..ir.ranking import RankedList
+from ..store import build_store_runtime
 from .indexer import IndexingProtocol
 from .owner import OwnerPeer, SharedDocument
 from .query_processing import QueryExecution, QueryProcessor
@@ -61,11 +62,15 @@ class DistributedSystem:
         self.ring = (
             ring if ring is not None else ChordRing(chord_config, transport=transport)
         )
+        # None for the default in-RAM backend; a StoreRuntime when the
+        # configuration selects the disk-backed store (DESIGN.md §12).
+        self.store_runtime = build_store_runtime(self.config)
         self.protocol = IndexingProtocol(
             self.ring,
             query_cache_size=self.config.query_cache_size,
             columnar_postings=getattr(self.config, "columnar_postings", True),
             result_cache_size=getattr(self.config, "result_cache_size", 0),
+            store_runtime=self.store_runtime,
         )
         self.processor = QueryProcessor(
             self.protocol,

@@ -38,6 +38,9 @@ class MessageKind(Enum):
     PUBLISH_BATCH = "publish_batch"         # owner → indexing peer: add n postings
     UNPUBLISH_BATCH = "unpublish_batch"     # owner → indexing peer: remove n postings
     POLL_BATCH = "poll_batch"               # owner → indexing peer: poll n term cursors
+    SYNC_DIGEST = "sync_digest"             # recovering peer ↔ successor: slot checksums
+    SYNC_DELTA = "sync_delta"               # successor → recovering peer: changed postings
+    SYNC_FULL = "sync_full"                 # successor → recovering peer: whole slot
 
 
 #: Abstract size constants (bytes) used by the cost model.
@@ -47,6 +50,7 @@ QUERY_HEADER_BYTES = 16
 ADDRESS_BYTES = 6
 RESULT_ENTRY_BYTES = 16
 VERSION_BYTES = 8
+CHECKSUM_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -215,6 +219,39 @@ def poll_batch_message(
     )
 
 
+def sync_digest_message(src: int, dst: int, num_slots: int) -> Message:
+    """One side of the recovery digest round: per-slot checksums (or the
+    per-slot match verdicts on the reply leg)."""
+    return Message(
+        kind=MessageKind.SYNC_DIGEST,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_slots * (TERM_BYTES + CHECKSUM_BYTES),
+    )
+
+
+def sync_delta_message(src: int, dst: int, num_postings: int) -> Message:
+    """Incremental catch-up for one changed slot: only the postings that
+    differ from (or were removed since) the recovering peer's snapshot."""
+    return Message(
+        kind=MessageKind.SYNC_DELTA,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_postings * (TERM_BYTES + POSTING_BYTES),
+    )
+
+
+def sync_full_message(src: int, dst: int, num_postings: int) -> Message:
+    """Full resync of one slot (no usable snapshot of it): every posting
+    travels — the Section 7 baseline the snapshot path avoids."""
+    return Message(
+        kind=MessageKind.SYNC_FULL,
+        src=src,
+        dst=dst,
+        size_bytes=QUERY_HEADER_BYTES + num_postings * (TERM_BYTES + POSTING_BYTES),
+    )
+
+
 #: All kinds, for table-driven tests.
 ALL_KINDS: Tuple[MessageKind, ...] = tuple(MessageKind)
 
@@ -251,6 +288,9 @@ MAINTENANCE_KINDS = frozenset(
         MessageKind.HEARTBEAT,
         MessageKind.RECONCILE,
         MessageKind.ADVISE_HOT_TERM,
+        MessageKind.SYNC_DIGEST,
+        MessageKind.SYNC_DELTA,
+        MessageKind.SYNC_FULL,
     }
 )
 

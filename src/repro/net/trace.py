@@ -54,7 +54,15 @@ QUERY_PATH_KIND_NAMES = frozenset(
 )
 ROUTING_KIND_NAMES = frozenset({"lookup"})
 MAINTENANCE_KIND_NAMES = frozenset(
-    {"replicate", "heartbeat", "reconcile", "advise_hot_term"}
+    {
+        "replicate",
+        "heartbeat",
+        "reconcile",
+        "advise_hot_term",
+        "sync_digest",
+        "sync_delta",
+        "sync_full",
+    }
 )
 
 

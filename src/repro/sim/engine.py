@@ -27,6 +27,7 @@ from ..core.system import DistributedSystem, SpriteSystem
 from ..corpus.relevance import Query
 from ..dht.replication import ReplicationManager
 from ..exceptions import NodeFailedError
+from ..store.recovery import RecoveryManager
 from .events import Scenario, SimEvent
 from .invariants import InvariantChecker, InvariantReport, InvariantViolation
 
@@ -95,6 +96,10 @@ class ScenarioEngine:
         Seeds victim/query selection (distinct from the system's seeds).
     tick_ms:
         Simulated time the clock advances per applied event.
+    snapshot_interval:
+        When > 0 and the system has a store runtime, auto-checkpoint
+        every N applied events (in addition to explicit ``snapshot``
+        events); 0 means on-demand snapshots only.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class ScenarioEngine:
         maintenance: MaintenanceDaemon | None = None,
         seed: int = 0,
         tick_ms: float = 10.0,
+        snapshot_interval: int = 0,
     ) -> None:
         self.system = system
         self.queries = list(queries)
@@ -116,9 +122,20 @@ class ScenarioEngine:
         self.maintenance = (
             maintenance if maintenance is not None else MaintenanceDaemon(system)
         )
-        self.checker = InvariantChecker(system)
+        self.store_runtime = getattr(system, "store_runtime", None)
+        self.recovery = (
+            RecoveryManager(system.ring, self.store_runtime)
+            if self.store_runtime is not None
+            else None
+        )
+        self.checker = InvariantChecker(
+            system,
+            recovery_log=self.recovery.log if self.recovery is not None else None,
+        )
         self.rng = random.Random(seed)
         self.tick_ms = tick_ms
+        self.snapshot_interval = snapshot_interval
+        self.snapshots_taken = 0
         self._dirty = False
         self._blackout_until = 0.0
         self._unshared = [
@@ -126,6 +143,8 @@ class ScenarioEngine:
         ]
         self._join_counter = 0
         self._degraded = 0
+        #: Peers downed by ``crash_disk``, awaiting ``recover_disk``.
+        self._disk_crashed: List[int] = []
 
     # -- quiescence ------------------------------------------------------------
 
@@ -168,6 +187,12 @@ class ScenarioEngine:
         for step, event in enumerate(scenario):
             if self.apply(event):
                 report.applied[event.kind] = report.applied.get(event.kind, 0) + 1
+                if (
+                    self.snapshot_interval > 0
+                    and self.store_runtime is not None
+                    and report.events_applied % self.snapshot_interval == 0
+                ):
+                    self._snapshot_all()
             else:
                 report.skipped[event.kind] = report.skipped.get(event.kind, 0) + 1
             check = self.check_now()
@@ -274,6 +299,44 @@ class ScenarioEngine:
         self.replication.recover_from_failures()
         return True
 
+    def _snapshot_all(self) -> int:
+        """Checkpoint every live peer currently holding term slots."""
+        assert self.store_runtime is not None
+        self.store_runtime.flush_retired()
+        saved = 0
+        for node_id in self.system.ring.live_ids:
+            if self.store_runtime.snapshots.save_peer(self.system.ring.node(node_id)):
+                saved += 1
+        self.snapshots_taken += 1
+        return saved
+
+    def _apply_snapshot(self, event: SimEvent) -> bool:
+        if self.store_runtime is None:
+            return False  # nothing durable to checkpoint
+        self._snapshot_all()
+        return True
+
+    def _apply_crash_disk(self, event: SimEvent) -> bool:
+        if self.store_runtime is None:
+            return False
+        victim = self._pick_victim()
+        if victim is None:
+            return False
+        self.system.ring.fail(victim)
+        self._disk_crashed.append(victim)
+        self._dirty = True
+        return True
+
+    def _apply_recover_disk(self, event: SimEvent) -> bool:
+        if self.recovery is None or not self._disk_crashed:
+            return False
+        victim = self._disk_crashed.pop(0)
+        self.recovery.recover_peer(victim, use_snapshot=True)
+        # Rejoining repairs routing, but postings lost in the outage may
+        # still need republication — stay dirty until a clean maintain.
+        self._dirty = True
+        return True
+
     def _apply_maintain(self, event: SimEvent) -> bool:
         report = self.maintenance.run_round()
         if (
@@ -293,13 +356,20 @@ def build_simulation(
     transport=None,
     queries: Sequence[Query] | None = None,
     tick_ms: float = 10.0,
+    store_backend: str = "memory",
+    store_dir: str = "",
+    snapshot_dir: str = "",
+    snapshot_interval: int = 0,
 ) -> ScenarioEngine:
     """A ready-to-run micro simulation for the CLI and the fuzzers.
 
     Builds a small synthetic corpus and query pool, a SPRITE system on a
     *num_peers* ring (all seeded from *seed*), replication + maintenance
     managers, and wires them into a :class:`ScenarioEngine`.  Nothing is
-    shared up front — scenarios publish incrementally.
+    shared up front — scenarios publish incrementally.  The store
+    parameters thread straight into :class:`~repro.config.SpriteConfig`;
+    with the default memory backend the durable-store events
+    (``snapshot``/``crash_disk``/``recover_disk``) are skipped.
     """
     from ..corpus.synthetic import SyntheticTrecCorpus
 
@@ -325,6 +395,10 @@ def build_simulation(
             query_cache_size=100,
             assumed_corpus_size=1000,
             top_k_answers=10,
+            store_backend=store_backend,
+            store_dir=store_dir,
+            snapshot_dir=snapshot_dir,
+            snapshot_interval=snapshot_interval,
         ),
         chord_config=ChordConfig(
             num_peers=num_peers,
@@ -335,4 +409,10 @@ def build_simulation(
         transport=transport,
     )
     pool = list(queries) if queries is not None else list(originals)
-    return ScenarioEngine(system, queries=pool, seed=seed, tick_ms=tick_ms)
+    return ScenarioEngine(
+        system,
+        queries=pool,
+        seed=seed,
+        tick_ms=tick_ms,
+        snapshot_interval=snapshot_interval,
+    )

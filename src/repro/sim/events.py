@@ -37,6 +37,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     "replicate",   # one successor-replication round
     "recover",     # stabilize + promote replicas
     "maintain",    # one owner-probe + reconciliation round
+    "snapshot",    # checkpoint every slot-holding peer's disk store
+    "crash_disk",  # crash-stop a peer whose disk (snapshots) survives
+    "recover_disk",  # rejoin the crashed peer: snapshot reload + delta sync
 )
 
 #: Events that repair damage; random scenarios append these after
@@ -151,6 +154,7 @@ def random_scenario(
     num_events: int = 100,
     churn_weight: float = 0.25,
     blackout_ms: float = 300.0,
+    with_store: bool = False,
 ) -> Scenario:
     """A seeded random schedule of exactly *num_events* events.
 
@@ -161,6 +165,13 @@ def random_scenario(
     step; the schedule closes with replication plus the full heal
     sequence so the final state is quiescent and every quiescent-tier
     invariant must hold.
+
+    ``with_store=True`` additionally mixes the durable-store events —
+    ``snapshot``, ``crash_disk``, ``recover_disk`` — into the pools (a
+    ``crash_disk`` is always followed by a ``recover_disk`` before the
+    heal steps, so the schedule exercises the snapshot reload path).
+    The default keeps the historical event stream byte-identical for a
+    given seed.
     """
     if num_events < len(HEAL_SEQUENCE) + 2:
         raise ValueError(f"num_events must be >= {len(HEAL_SEQUENCE) + 2}")
@@ -180,6 +191,9 @@ def random_scenario(
     destructive = ("crash", "leave", "blackout")
     workload = ("publish", "query", "query", "learn")
     upkeep = ("stabilize", "replicate", "recover", "maintain")
+    if with_store:
+        destructive = destructive + ("crash_disk",)
+        upkeep = upkeep + ("snapshot",)
     joins = 0
     while len(events) < body_budget:
         roll = rng.random()
@@ -202,6 +216,10 @@ def random_scenario(
         else:
             events.append(SimEvent(kind))
 
+        if kind == "crash_disk" and len(events) < body_budget:
+            # The disk survives; bring the peer back through the
+            # snapshot path before routing repair runs.
+            events.append(SimEvent("recover_disk"))
         if kind in destructive and rng.random() < 0.6:
             for heal in HEAL_SEQUENCE:
                 if len(events) >= body_budget:

@@ -61,14 +61,19 @@ class InvariantChecker:
         ("membership_consistency", False),
         ("primary_placement", False),
         ("query_cache_bounds", False),
+        ("resync_traffic_bounded", False),
         ("topology_matches_oracle", True),
         ("term_resolvability", True),
         ("owner_agreement", True),
         ("posting_conservation", True),
     )
 
-    def __init__(self, system: DistributedSystem) -> None:
+    def __init__(self, system: DistributedSystem, recovery_log=None) -> None:
         self.system = system
+        #: Shared list of :class:`~repro.store.recovery.RecoveryReport`s
+        #: (the engine passes its RecoveryManager's log); ``None`` or
+        #: empty makes ``resync_traffic_bounded`` vacuous.
+        self.recovery_log = recovery_log
 
     def check(self, quiescent: bool) -> InvariantReport:
         """Run the always-tier, plus the quiescent tier when the engine
@@ -139,6 +144,37 @@ class InvariantChecker:
                         f"slot {slot.term!r} at {node_id}: cache "
                         f"{len(slot.cache)} > capacity {slot.cache.capacity}",
                     )
+
+    def _check_resync_traffic_bounded(self, report: InvariantReport) -> None:
+        """Snapshot-assisted recovery never ships more than the full
+        -resync baseline would: per recovery, shipped postings are
+        bounded by the authoritative posting count, and a recovery whose
+        every transferred slot matched its checkpoint ships zero
+        postings (the digest round is the only traffic).  Vacuous until
+        a disk recovery has run."""
+        for index, recovery in enumerate(self.recovery_log or ()):
+            if recovery.mode != "snapshot":
+                continue
+            if recovery.postings_shipped > recovery.full_baseline_postings:
+                self._fail(
+                    report,
+                    "resync_traffic_bounded",
+                    f"recovery #{index} (peer {recovery.peer}): shipped "
+                    f"{recovery.postings_shipped} postings, full baseline "
+                    f"is {recovery.full_baseline_postings}",
+                )
+            if (
+                recovery.slots_changed == 0
+                and recovery.slots_missing == 0
+                and recovery.postings_shipped > 0
+            ):
+                self._fail(
+                    report,
+                    "resync_traffic_bounded",
+                    f"recovery #{index} (peer {recovery.peer}): all "
+                    f"{recovery.slots_matched} slots matched the snapshot "
+                    f"but {recovery.postings_shipped} postings shipped",
+                )
 
     # -- quiescent tier -----------------------------------------------------
 

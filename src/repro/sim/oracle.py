@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Four comparisons, all on a churn-free ring:
+Five comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -33,6 +33,16 @@ Four comparisons, all on a churn-free ring:
   then a withdraw/re-share churn cycle — through a batched and a
   legacy system and compares :func:`write_state_fingerprint` plus
   every test-query ranking exactly.
+
+* **Store-path equivalence** — the ISSUE 6 durable store
+  (:mod:`repro.store`) is an off-switchable persistence backend, so a
+  sqlite-backed system must be *bit-identical* to the in-RAM default
+  across the same bulk-ingest flow: the full write-state fingerprint
+  (postings, aggregates, version rank order, owner state) and every
+  test-query ranking, score bits included.  SQLite stores only the
+  integer posting columns; every float is recomputed through the same
+  expressions the columnar store uses, so there is no tolerance to
+  hide behind.
 
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
@@ -193,6 +203,7 @@ class DifferentialOracle:
         early_termination: bool = True,
         result_cache_size: int = 0,
         batched_writes: bool = True,
+        store_backend: str = "memory",
     ) -> SpriteConfig:
         return SpriteConfig(
             initial_terms=3,
@@ -205,6 +216,7 @@ class DifferentialOracle:
             early_termination=early_termination,
             result_cache_size=result_cache_size,
             batched_writes=batched_writes,
+            store_backend=store_backend,
         )
 
     def _build_sprite(self, optimized: bool) -> SpriteSystem:
@@ -391,6 +403,68 @@ class DifferentialOracle:
             chord_config=self._chord_config(optimized=True),
         )
 
+    # -- comparison 3b: sqlite store vs in-RAM store -------------------------
+
+    def check_store_paths(self) -> OracleReport:
+        """Replay the bulk-ingest flow (bulk share, training
+        registration, learning, withdraw/re-share churn) through a
+        sqlite-backed and an in-RAM system; the full write-state
+        fingerprint and every test-query ranking must match exactly.
+        The sqlite system uses an anonymous temporary store directory,
+        released when the system is garbage collected."""
+        report = OracleReport(name="store-paths")
+        durable = self._build_store_sprite(store_backend="sqlite")
+        memory = self._build_store_sprite(store_backend="memory")
+        docs = list(self.corpus)
+        churn_ids = [
+            d.doc_id for d in docs[: max(1, math.ceil(len(docs) / 5))]
+        ]
+        for system in (durable, memory):
+            system.bulk_share()
+            system.register_queries(self.train)
+            system.run_learning()
+            system.bulk_unshare(churn_ids)
+            system.bulk_share(
+                [system.corpus.get(doc_id) for doc_id in churn_ids]
+            )
+        disk = write_state_fingerprint(durable)
+        ram = write_state_fingerprint(memory)
+        for part in ("slots", "version_rank", "owners"):
+            if disk[part] != ram[part]:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id="<state>",
+                        detail=(
+                            f"write-state {part} diverged between the "
+                            "sqlite and in-RAM store backends"
+                        ),
+                    )
+                )
+        for query in self.test:
+            on_disk = _pairs(durable.search(query, cache=False))
+            in_ram = _pairs(memory.search(query, cache=False))
+            report.queries_compared += 1
+            if on_disk != in_ram:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=(
+                            f"sqlite={on_disk[:3]}... "
+                            f"memory={in_ram[:3]}..."
+                        ),
+                    )
+                )
+        if durable.store_runtime is not None:
+            durable.store_runtime.close()
+        return report
+
+    def _build_store_sprite(self, store_backend: str) -> SpriteSystem:
+        return SpriteSystem(
+            self.corpus,
+            sprite_config=self._sprite_config(store_backend=store_backend),
+            chord_config=self._chord_config(optimized=True),
+        )
+
     # -- comparison 4: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
@@ -447,6 +521,7 @@ class DifferentialOracle:
             self.check_perf_paths(),
             self.check_topk_paths(),
             self.check_ingest_paths(),
+            self.check_store_paths(),
             self.check_centralized_baseline(),
         ]
         return {r.name: r for r in reports}

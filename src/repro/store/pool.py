@@ -1,0 +1,90 @@
+"""Per-peer SQLite connection/statement pooling.
+
+One simulated process hosts every indexing peer, but giving all of them
+a single connection would serialize the statement cache and make the
+per-peer cost model meaningless.  The pool maps peers onto a bounded set
+of *lanes* (``peer_id % size``), each backed by one lazily-opened
+connection with its own prepared-statement cache — the simulation
+equivalent of each peer process holding a connection to its local store.
+
+All connections target the same database file in WAL mode.  Durability
+pragmas are relaxed (``synchronous=OFF``): the crash-consistency story
+for the simulated peers is the snapshot/manifest layer in
+:mod:`repro.store.snapshot`, not the SQLite journal — a crashed peer is
+modelled as losing everything after its last snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import sqlite3
+
+
+class ConnectionPool:
+    """A fixed set of lazily-opened connections to one database file.
+
+    Parameters
+    ----------
+    db_path:
+        The SQLite database file (created on first open).
+    size:
+        Number of connection lanes; peers share lanes round-robin by id.
+    cached_statements:
+        Per-connection prepared-statement cache size (SQLite compiles a
+        statement once per cache entry; the hot path reuses a handful of
+        point queries, so even a small cache removes re-parsing).
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        size: int = 8,
+        cached_statements: int = 512,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if cached_statements < 1:
+            raise ValueError("cached_statements must be >= 1")
+        self.db_path = Path(db_path)
+        self.size = size
+        self.cached_statements = cached_statements
+        self._lanes: Dict[int, sqlite3.Connection] = {}
+        self.opens = 0
+        self.checkouts = 0
+
+    def connection_for(self, peer_id: int) -> sqlite3.Connection:
+        """The connection lane serving *peer_id* (opened on first use)."""
+        lane = peer_id % self.size
+        conn = self._lanes.get(lane)
+        if conn is None:
+            conn = sqlite3.connect(
+                str(self.db_path),
+                isolation_level=None,  # autocommit; batches BEGIN explicitly
+                cached_statements=self.cached_statements,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=OFF")
+            self._lanes[lane] = conn
+            self.opens += 1
+        self.checkouts += 1
+        return conn
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._lanes)
+
+    def close_all(self) -> None:
+        """Close every lane (the pool can be reused; lanes reopen)."""
+        for conn in self._lanes.values():
+            conn.close()
+        self._lanes.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "lanes": self.size,
+            "open_connections": self.open_connections,
+            "opens": self.opens,
+            "checkouts": self.checkouts,
+        }

@@ -109,6 +109,7 @@ class TestCheckAll:
             "perf-paths",
             "topk-paths",
             "ingest-paths",
+            "store-paths",
             "centralized-baseline",
         }
         assert all(r.ok for r in reports.values())

@@ -1,0 +1,103 @@
+"""The Bloom front: probabilistic semantics and measured benefit.
+
+A Bloom negative must be definitive (no false negatives, ever); false
+positives only cost one point read.  The false-positive rate is checked
+against a generous multiple of the configured error rate — it is a
+sanity gate on the wiring (capacity, double hashing, rebuild), not a
+statistical test.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.perf import PROFILE
+from repro.store import SqlitePostings, init_schema
+
+
+@pytest.fixture()
+def conn(tmp_path):
+    connection = sqlite3.connect(
+        str(tmp_path / "postings.db"), isolation_level=None
+    )
+    init_schema(connection)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture()
+def profile():
+    prior = PROFILE.enabled
+    PROFILE.reset()
+    PROFILE.enable()
+    yield PROFILE
+    if not prior:
+        PROFILE.disable()
+
+
+class TestBloomFront:
+    def test_no_false_negatives(self, conn) -> None:
+        store = SqlitePostings(conn, slot_id=1, bloom_capacity=64)
+        docs = [f"doc-{i}" for i in range(200)]  # forces rebuilds too
+        for doc in docs:
+            store.add(doc, 1, 2, 10)
+        for doc in docs:
+            assert doc in store
+            assert store.lookup(doc) is not None
+
+    def test_false_positive_rate_sane(self, conn, profile) -> None:
+        store = SqlitePostings(
+            conn, slot_id=2, bloom_capacity=300, bloom_error_rate=0.01
+        )
+        for i in range(250):
+            store.add(f"present-{i}", 1, 2, 10)
+        profile.reset()  # count only the absent probes below
+        absent = [f"absent-{i}" for i in range(1000)]
+        for doc in absent:
+            assert doc not in store
+        counters = profile.summary()["counters"]
+        negatives = counters.get("store.bloom_negative", 0)
+        false_positives = counters.get("store.point_reads", 0)
+        assert negatives + false_positives == len(absent)
+        # 1% configured; 5x margin keeps the gate deterministic-friendly.
+        assert false_positives / len(absent) < 0.05
+
+    def test_insert_skips_point_reads_for_new_docs(self, conn, profile) -> None:
+        store = SqlitePostings(conn, slot_id=3, bloom_capacity=300)
+        profile.reset()
+        for i in range(100):
+            store.add(f"doc-{i}", 1, 2, 10)
+        counters = profile.summary()["counters"]
+        # Nearly every first-time insert skips the existence SELECT.
+        assert counters.get("store.bloom_insert_skips", 0) >= 95
+
+    def test_rebuild_grows_capacity_and_stays_correct(self, conn, profile) -> None:
+        store = SqlitePostings(conn, slot_id=4, bloom_capacity=32)
+        for i in range(100):
+            store.add(f"doc-{i}", 1, 2, 10)
+        counters = profile.summary()["counters"]
+        assert counters.get("store.bloom_rebuilds", 0) >= 1
+        assert store.bloom is not None and store.bloom.capacity >= 64
+        for i in range(100):
+            assert f"doc-{i}" in store
+
+    def test_removal_keeps_filter_over_approximate(self, conn) -> None:
+        store = SqlitePostings(conn, slot_id=5, bloom_capacity=64)
+        store.add("gone", 1, 2, 10)
+        assert store.remove("gone") is not None
+        # The filter may still claim "gone" (no deletions), but the
+        # store's answer must be the truth.
+        assert "gone" not in store
+        assert store.lookup("gone") is None
+
+    def test_disabled_bloom_means_plain_sql(self, conn, profile) -> None:
+        store = SqlitePostings(conn, slot_id=6, bloom_capacity=0)
+        assert store.bloom is None
+        profile.reset()
+        store.add("d", 1, 2, 10)
+        assert "nope" not in store
+        counters = profile.summary()["counters"]
+        assert counters.get("store.bloom_negative", 0) == 0
+        assert counters.get("store.point_reads", 0) >= 2

@@ -1,0 +1,142 @@
+"""Crash recovery: snapshot catch-up vs full resync, and its invariant.
+
+The perf-layer recovery workload provides the controlled head-to-head
+(same seed → both modes crash byte-identical state); the sim-layer test
+exercises the ``crash_disk``/``recover_disk`` events inside a full
+scenario with the two-tier invariant catalogue watching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.store import run_recovery_workload, store_smoke_config
+from repro.sim import InvariantChecker, Scenario, SimEvent, build_simulation
+from repro.sim.events import random_scenario
+from repro.store import RecoveryReport
+
+
+@pytest.fixture(scope="module")
+def recovery_pair():
+    cfg = store_smoke_config()
+    return (
+        run_recovery_workload(cfg, use_snapshot=True),
+        run_recovery_workload(cfg, use_snapshot=False),
+    )
+
+
+class TestRecoveryComparison:
+    def test_modes_crash_identical_state(self, recovery_pair) -> None:
+        snapshot, full = recovery_pair
+        assert snapshot.mode == "snapshot" and full.mode == "full"
+        assert snapshot.victim == full.victim
+        assert snapshot.victim_slots == full.victim_slots
+        assert (
+            snapshot.report["postings_authoritative"]
+            == full.report["postings_authoritative"]
+        )
+        assert (
+            snapshot.report["slots_transferred"]
+            == full.report["slots_transferred"]
+        )
+
+    def test_snapshot_recovery_ships_measurably_less(self, recovery_pair) -> None:
+        snapshot, full = recovery_pair
+        assert snapshot.report["slots_transferred"] > 0
+        assert snapshot.report["slots_matched"] > 0  # unchanged slots are free
+        assert (
+            snapshot.report["postings_shipped"]
+            < full.report["postings_shipped"]
+        )
+        assert snapshot.report["bytes_shipped"] < full.report["bytes_shipped"]
+
+    def test_full_mode_ships_its_own_baseline(self, recovery_pair) -> None:
+        __, full = recovery_pair
+        assert (
+            full.report["postings_shipped"]
+            == full.report["full_baseline_postings"]
+        )
+        assert (
+            full.report["messages_sent"] == full.report["full_baseline_messages"]
+        )
+        assert full.report["bytes_shipped"] == full.report["full_baseline_bytes"]
+
+
+class TestSimIntegration:
+    def test_explicit_crash_disk_scenario_stays_invariant(self) -> None:
+        engine = build_simulation(
+            seed=3, num_peers=16, store_backend="sqlite"
+        )
+        scenario = Scenario(
+            seed=3,
+            events=(
+                [SimEvent("publish", count=5)] * 4
+                + [SimEvent("replicate"), SimEvent("snapshot")]
+                + [SimEvent("publish", count=3)] * 2
+                + [
+                    SimEvent("replicate"),
+                    SimEvent("crash_disk"),
+                    SimEvent("recover"),  # promote before the rejoin
+                    SimEvent("recover_disk"),
+                    SimEvent("replicate"),
+                    SimEvent("stabilize"),
+                    SimEvent("recover"),
+                    SimEvent("maintain"),
+                    SimEvent("maintain"),
+                ]
+            ),
+        )
+        report = engine.run(scenario)
+        assert report.ok, [str(v) for v in report.violations]
+        assert engine.snapshots_taken == 1
+        assert len(engine.recovery.log) == 1
+        recovery = engine.recovery.log[0]
+        assert recovery.mode == "snapshot"
+        assert recovery.postings_shipped <= recovery.full_baseline_postings
+
+    def test_random_store_scenarios_stay_invariant(self) -> None:
+        for seed in (1, 2):
+            scenario = random_scenario(seed=seed, num_events=80, with_store=True)
+            kinds = scenario.kind_counts()
+            engine = build_simulation(
+                seed=seed, num_peers=16, store_backend="sqlite",
+                snapshot_interval=7,
+            )
+            report = engine.run(scenario)
+            assert report.ok, (seed, [str(v) for v in report.violations])
+            if kinds.get("crash_disk"):
+                assert engine.recovery.log  # the recover_disk events ran
+
+    def test_default_scenario_stream_unchanged_without_store(self) -> None:
+        # The store event kinds must not perturb historical schedules.
+        plain = random_scenario(seed=77, num_events=60)
+        again = random_scenario(seed=77, num_events=60, with_store=False)
+        assert plain.events == again.events
+        assert not any(
+            e.kind in ("snapshot", "crash_disk", "recover_disk") for e in plain
+        )
+
+
+class TestResyncInvariant:
+    def test_flags_snapshot_recovery_that_overspends(self) -> None:
+        engine = build_simulation(seed=5, num_peers=8)
+        overspent = RecoveryReport(
+            peer=1,
+            mode="snapshot",
+            snapshot_found=True,
+            slots_transferred=3,
+            postings_shipped=10,
+            full_baseline_postings=5,
+        )
+        checker = InvariantChecker(engine.system, recovery_log=[overspent])
+        report = checker.check(quiescent=False)
+        assert any(
+            v.invariant == "resync_traffic_bounded" for v in report.violations
+        )
+
+    def test_vacuous_without_recoveries(self) -> None:
+        engine = build_simulation(seed=5, num_peers=8)
+        checker = InvariantChecker(engine.system, recovery_log=None)
+        report = checker.check(quiescent=False)
+        assert "resync_traffic_bounded" in report.checked
+        assert report.ok

@@ -1,0 +1,118 @@
+"""Configuration plumbing and CLI surface of the durable store."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import STORE_BACKENDS, ESearchConfig, SpriteConfig
+from repro.exceptions import ConfigurationError
+from repro.store import StoreRuntime, build_store_runtime
+
+
+class TestConfig:
+    def test_backends_catalogue(self) -> None:
+        assert STORE_BACKENDS == ("memory", "sqlite")
+
+    def test_default_is_memory(self) -> None:
+        config = SpriteConfig()
+        assert config.store_backend == "memory"
+        assert build_store_runtime(config) is None
+
+    def test_unknown_backend_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SpriteConfig(store_backend="postgres")
+
+    def test_negative_snapshot_interval_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SpriteConfig(snapshot_interval=-1)
+
+    def test_sqlite_backend_builds_runtime(self, tmp_path) -> None:
+        config = SpriteConfig(
+            store_backend="sqlite",
+            store_dir=str(tmp_path / "store"),
+            snapshot_dir=str(tmp_path / "snaps"),
+        )
+        runtime = build_store_runtime(config)
+        try:
+            assert isinstance(runtime, StoreRuntime)
+            assert runtime.db_path.exists()
+            assert runtime.snapshots.root == tmp_path / "snaps"
+        finally:
+            runtime.close()
+
+    def test_pre_store_configs_default_to_memory(self) -> None:
+        # ESearchConfig predates the store fields; getattr defaults keep
+        # it on the in-RAM path.
+        assert build_store_runtime(ESearchConfig()) is None
+
+    def test_temp_store_dir_cleans_up_on_close(self) -> None:
+        runtime = StoreRuntime()
+        root = runtime.root
+        assert root.exists()
+        runtime.close()
+        assert not root.exists()
+
+
+class TestCliFlags:
+    def test_perf_and_check_accept_store_flags(self) -> None:
+        parser = build_parser()
+        for command in ("perf", "check"):
+            args = parser.parse_args(
+                [
+                    command,
+                    "--store-backend",
+                    "sqlite",
+                    "--store-dir",
+                    "/tmp/x",
+                    "--snapshot-dir",
+                    "/tmp/y",
+                    "--snapshot-interval",
+                    "25",
+                ]
+                + (["--random"] if command == "check" else [])
+            )
+            assert args.store_backend == "sqlite"
+            assert args.snapshot_interval == 25
+
+    def test_perf_mode_store_listed(self) -> None:
+        args = build_parser().parse_args(["perf", "--mode", "store"])
+        assert args.mode == "store"
+
+    def test_check_runs_with_sqlite_store(self, tmp_path) -> None:
+        out = io.StringIO()
+        code = main(
+            [
+                "check",
+                "--random",
+                "--events",
+                "12",
+                "--peers",
+                "8",
+                "--skip-oracle",
+                "--store-backend",
+                "sqlite",
+                "--store-dir",
+                str(tmp_path / "store"),
+                "--snapshot-dir",
+                str(tmp_path / "snaps"),
+                "--snapshot-interval",
+                "4",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0, text
+        assert "durable-store events mixed in" in text
+        assert "store:" in text
+
+    def test_check_memory_backend_prints_no_store_stats(self) -> None:
+        out = io.StringIO()
+        code = main(
+            ["check", "--random", "--events", "10", "--peers", "8", "--skip-oracle"],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        assert "store:" not in out.getvalue()
