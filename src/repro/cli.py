@@ -44,6 +44,7 @@ from typing import List, Optional
 from .config import (
     ExperimentConfig,
     LATENCY_MODELS,
+    SCORING_KERNELS,
     STORE_BACKENDS,
     TRANSPORT_KINDS,
     paper_experiment_config,
@@ -369,8 +370,12 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         return _cmd_perf_ingest(args, out)
     if args.mode == "store":
         return _cmd_perf_store(args, out)
+    if args.mode == "scale":
+        return _cmd_perf_scale(args, out)
     cfg = smoke_config() if args.small else paper_scale_config()
-    cfg = cfg.replaced(optimized=not args.baseline, seed=args.seed)
+    cfg = cfg.replaced(
+        optimized=not args.baseline, seed=args.seed, kernel=args.kernel
+    )
     mode = "baseline (optimizations off)" if args.baseline else "optimized"
     out.write(
         f"perf workload [{mode}]: {cfg.num_peers} peers, "
@@ -399,11 +404,68 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
             f"{rc['revalidations']} revalidations, {rc['evictions']} evictions\n"
         )
     out.write(f"  ranking checksum: {result.ranking_checksum[:16]}…\n")
+    _write_memory_line(out)
     counters = result.profile.get("counters", {})
     if counters:
         out.write("  profile counters:\n")
         for name, value in counters.items():
             out.write(f"    {name} = {value}\n")
+    return 0
+
+
+def _write_memory_line(out) -> None:
+    """The shared per-mode memory summary (DESIGN.md §13): every bench
+    mode reports memory, not just the scale harness."""
+    from .perf.profile import memory_usage
+
+    usage = memory_usage()
+    out.write(
+        f"  memory: peak RSS {usage['peak_rss_kb'] / 1024:.1f} MB · "
+        f"current RSS {usage['rss_kb'] / 1024:.1f} MB · "
+        f"{usage['allocated_blocks']} live allocations\n"
+    )
+
+
+def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
+    """Run the sharded scale workload (DESIGN.md §13) and print it."""
+    import json
+
+    from .perf.scale import (
+        run_scale_workload,
+        scale_paper_config,
+        scale_smoke_config,
+    )
+
+    cfg = scale_smoke_config() if args.small else scale_paper_config()
+    cfg = cfg.replaced(seed=args.seed, workers=args.workers, kernel=args.kernel)
+    if args.shards:
+        cfg = cfg.replaced(num_shards=args.shards)
+    out.write(
+        f"scale workload [{cfg.kernel} kernel]: {cfg.num_peers} peers, "
+        f"{cfg.num_documents} docs, {cfg.num_queries} queries over "
+        f"{cfg.num_shards} shards × {cfg.workers} workers\n"
+    )
+    result = run_scale_workload(cfg)
+    if args.json:
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(
+        f"  build {result.build_s:.2f}s · publish {result.publish_s:.2f}s · "
+        f"queries {result.query_s:.2f}s (shard-seconds) · "
+        f"wall {result.wall_s:.2f}s\n"
+    )
+    out.write(
+        f"  {result.queries_per_s:.0f} queries/s·core · "
+        f"{result.docs_per_s:.0f} docs/s·core · "
+        f"{result.postings_published} postings · "
+        f"{result.wall_queries_per_s:.0f} queries/s end-to-end wall\n"
+    )
+    out.write(
+        f"  shard peak RSS {result.peak_rss_kb / 1024:.1f} MB · "
+        f"{result.allocated_blocks_delta} allocations retained\n"
+    )
+    out.write(f"  merged ranking checksum: {result.ranking_checksum[:16]}…\n")
+    _write_memory_line(out)
     return 0
 
 
@@ -453,6 +515,7 @@ def _cmd_perf_topk(args: argparse.Namespace, out) -> int:
         "  ranking checksums "
         + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
     )
+    _write_memory_line(out)
     return 0 if comparison.checksums_match else 1
 
 
@@ -502,6 +565,7 @@ def _cmd_perf_ingest(args: argparse.Namespace, out) -> int:
         "  ranking checksums "
         + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
     )
+    _write_memory_line(out)
     return 0 if comparison.checksums_match else 1
 
 
@@ -569,6 +633,7 @@ def _cmd_perf_store(args: argparse.Namespace, out) -> int:
         "  ranking checksums "
         + ("MATCH\n" if comparison.checksums_match else "DIVERGED\n")
     )
+    _write_memory_line(out)
     snapshot_cheaper = (
         comparison.recovery_snapshot.report["bytes_shipped"]
         < comparison.recovery_full.report["bytes_shipped"]
@@ -723,16 +788,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=("e2e", "topk", "ingest", "store"),
+        choices=("e2e", "topk", "ingest", "store", "scale"),
         default="e2e",
         help="e2e: one workload run; topk: the four-mode top-k comparison "
         "(legacy / batched / early-termination / result-cached); ingest: "
         "the three-arm write-path comparison (seed per-term / route-cached "
         "per-term / destination-grouped batched); store: the posting-store "
         "backend comparison (memory / sqlite / sqlite+bloom) plus the "
-        "snapshot-vs-full crash-recovery comparison",
+        "snapshot-vs-full crash-recovery comparison; scale: the "
+        "process-sharded 100k-peer workload (DESIGN.md §13)",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
+    scale = p.add_argument_group("scale-out engine (DESIGN.md §13)")
+    scale.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --mode scale (results are identical "
+        "for any worker count; shards fix the partitioning)",
+    )
+    scale.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count override for --mode scale (0 = config default)",
+    )
+    scale.add_argument(
+        "--kernel",
+        choices=SCORING_KERNELS,
+        default="python",
+        help="phase-B scoring kernel: python (scalar, default) or numpy "
+        "(vectorized slot kernels; needs the perf extra). Rankings are "
+        "bit-identical either way.",
+    )
     _add_store(p)
     p.set_defaults(handler=cmd_perf)
 

@@ -31,6 +31,11 @@ def _require(condition: bool, message: str) -> None:
 #: Posting-store backends :class:`SpriteConfig` may name.
 STORE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
 
+#: Phase-B scoring kernels :class:`SpriteConfig` may name.  ``"numpy"``
+#: needs the optional ``perf`` extra; validation happens where the
+#: query processor is built, not here, so configs stay plain data.
+SCORING_KERNELS: Tuple[str, ...] = ("python", "numpy")
+
 
 @dataclass(frozen=True)
 class SyntheticCorpusConfig:
@@ -164,6 +169,12 @@ class SpriteConfig:
     #: Bloom-filter existence check in front of SQLite point lookups
     #: (reuses :mod:`repro.dht.bloom`); irrelevant to the memory backend.
     store_bloom: bool = True
+    #: Phase-B scoring kernel (DESIGN.md §13): ``"python"`` is the
+    #: scalar accumulation loop, ``"numpy"`` the vectorized slot kernels
+    #: of :mod:`repro.ir.kernels` (optional ``perf`` extra).  Rankings
+    #: are bit-identical either way — the sixth oracle comparison and
+    #: the kernel property tests hold the two paths to exact equality.
+    scoring_kernel: str = "python"
 
     def __post_init__(self) -> None:
         _require(self.initial_terms >= 1, "initial_terms must be >= 1")
@@ -182,6 +193,10 @@ class SpriteConfig:
             f"store_backend must be one of {STORE_BACKENDS}",
         )
         _require(self.snapshot_interval >= 0, "snapshot_interval must be >= 0")
+        _require(
+            self.scoring_kernel in SCORING_KERNELS,
+            f"scoring_kernel must be one of {SCORING_KERNELS}",
+        )
 
     @property
     def total_terms_after_learning(self) -> int:

@@ -93,6 +93,12 @@ class SlotView:
             self._slot.scoring_lookup(doc_id) if self._slot is not None else None
         )
 
+    def columnar_store(self):
+        """The slot's backing columnar store (``None`` for unindexed
+        terms and non-columnar backends) — see
+        :meth:`repro.core.metadata.TermSlot.columnar_store`."""
+        return self._slot.columnar_store() if self._slot is not None else None
+
 
 class IndexingProtocol:
     """Network-level operations on the distributed term index.

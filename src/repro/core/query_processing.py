@@ -42,12 +42,14 @@ _THRESHOLD_DEFLATE = 1.0 - 1e-9
 #: impact order alone decides them in O(k)).
 _PHASE_A_MIN_RATIO = 4
 
+from ..config import SCORING_KERNELS
 from ..corpus.relevance import Query
-from ..exceptions import NodeFailedError
+from ..exceptions import ConfigurationError, NodeFailedError
 from ..ir.ranking import RankedList
 from ..ir.similarity import lee_similarity
 from ..ir.weighting import TfIdfWeighting
 from ..perf import PROFILE
+from ..perf.compat import require_numpy
 from .indexer import IndexingProtocol
 
 
@@ -83,6 +85,7 @@ class QueryProcessor:
         batch_fetch: bool = True,
         early_termination: bool = True,
         result_cache: bool = False,
+        kernel: str = "python",
     ) -> None:
         """``document_frequency_override`` substitutes *true* document
         frequencies for the indexed document frequencies in the weight
@@ -110,13 +113,27 @@ class QueryProcessor:
         ``result_cache`` consults/feeds the indexing peers' query-result
         caches (when the protocol has them enabled): a repeated query
         whose term slots are unchanged is answered from the cached
-        ranked list without fetching or scoring any postings."""
+        ranked list without fetching or scoring any postings.
+
+        ``kernel`` selects the phase-B scoring implementation for
+        bounded-``top_k`` queries: ``"python"`` (default) is the scalar
+        accumulation loop; ``"numpy"`` scores whole slots through the
+        vectorized kernels of :mod:`repro.ir.kernels` — bit-identical
+        results, requires the ``perf`` extra, and silently falls back
+        to the scalar loop for queries touching non-columnar slots."""
+        if kernel not in SCORING_KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {SCORING_KERNELS}, got {kernel!r}"
+            )
+        if kernel == "numpy":
+            require_numpy("QueryProcessor(kernel='numpy')")
         self.protocol = protocol
         self.weighting = TfIdfWeighting(corpus_size=assumed_corpus_size)
         self.document_frequency_override = document_frequency_override
         self.batch_fetch = batch_fetch
         self.early_termination = early_termination
         self.result_cache = result_cache
+        self.kernel = kernel
 
     def execute(
         self,
@@ -133,7 +150,14 @@ class QueryProcessor:
         real system where the search request itself populates the cache.
         """
         if self.batch_fetch:
-            if top_k is not None and (self.early_termination or self.result_cache):
+            # The numpy kernel rides the slot-view path (it needs the
+            # raw columns), which is exhaustive-equivalent when early
+            # termination is off — identical wire traffic and scores.
+            if top_k is not None and (
+                self.early_termination
+                or self.result_cache
+                or self.kernel != "python"
+            ):
                 return self._execute_topk(issuer_id, query, top_k, cache)
             return self._execute_batched(issuer_id, query, top_k, cache)
         return self._execute_legacy(issuer_id, query, top_k, cache)
@@ -251,6 +275,35 @@ class QueryProcessor:
         # the same floats in the same order — bit-identical scores.  The
         # per-survivor lookup shape costs |terms|·|survivors| instead of
         # Σ df; fall back to the scan when survivors dominate.
+        scores: Optional[Dict[str, float]] = None
+        if self.kernel == "numpy":
+            from ..ir import kernels
+
+            scores = kernels.rescore(term_infos, weighting, survivors)
+            if profiling:
+                PROFILE.count(
+                    "kernel.numpy" if scores is not None else "kernel.fallback"
+                )
+        if scores is not None:
+            execution.candidate_documents = len(scores)
+            execution.latency_ms = clock.now - started_ms
+            ranked = RankedList.top_k(scores, top_k)
+            if profiling:
+                PROFILE.add_time("query.score", perf_counter() - t1)
+                PROFILE.count("query.executed")
+            if use_rcache and frozenset(execution.dropped_terms) == frozenset(
+                reg_failed
+            ):
+                protocol.store_result(
+                    issuer_id,
+                    tuple(query.terms),
+                    top_k,
+                    reg_versions,
+                    frozenset(reg_failed),
+                    ranked,
+                )
+            return ranked, execution
+
         dot_products: Dict[str, float] = {}
         doc_lengths: Dict[str, int] = {}
         total_postings = sum(info[1].indexed_df for info in term_infos)

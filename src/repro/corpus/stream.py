@@ -1,0 +1,72 @@
+"""Streaming synthetic corpus production for the scale harness.
+
+The tracked perf workloads build their synthetic index inline, one doc
+at a time, but still shape each document with per-call ``rng.choices``.
+At 100k-peer / million-posting scale two things must change: documents
+have to be **generated, consumed, and dropped** (never a materialized
+list — peak RSS stays flat in the corpus size), and the term draws have
+to go through the bulk sampler (:meth:`CategoricalSampler.sample_many`)
+so a document costs O(1) amortized per draw instead of one bisection
+per term.
+
+:func:`stream_synthetic_docs` yields lightweight :class:`StreamedDoc`
+rows; the sharded harness turns each into one destination-grouped
+publish batch and lets it go.  Generation is deterministic in
+``(rng state, parameters)`` — the sharded harness seeds one RNG per
+shard, so a shard's document stream is identical no matter which worker
+process runs it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .sampling import CategoricalSampler
+
+
+@dataclass(frozen=True)
+class StreamedDoc:
+    """One synthetic document, as published: id, length, term → tf."""
+
+    doc_id: str
+    length: int
+    term_tfs: Tuple[Tuple[str, int], ...]
+
+
+def stream_synthetic_docs(
+    rng: random.Random,
+    vocabulary: Sequence[str],
+    weights: Sequence[float],
+    num_documents: int,
+    terms_per_document: int,
+    min_doc_length: int = 80,
+    max_doc_length: int = 240,
+    min_tf: int = 1,
+    max_tf: int = 12,
+    id_prefix: str = "doc",
+) -> Iterator[StreamedDoc]:
+    """Generate *num_documents* synthetic documents lazily.
+
+    Each document draws ``terms_per_document`` terms from the weighted
+    *vocabulary* (duplicates collapse, so documents near hot terms have
+    fewer distinct terms — same shape as the tracked perf workload), a
+    uniform length, and a uniform raw tf per distinct term.  The full
+    document list is never materialized; callers iterate and drop.
+    """
+    if num_documents < 0:
+        raise ValueError("num_documents must be >= 0")
+    if terms_per_document < 1:
+        raise ValueError("terms_per_document must be >= 1")
+    if not (1 <= min_doc_length <= max_doc_length):
+        raise ValueError("need 1 <= min_doc_length <= max_doc_length")
+    sampler = CategoricalSampler(vocabulary, weights)
+    for d in range(num_documents):
+        doc_id = f"{id_prefix}{d:07d}"
+        length = rng.randint(min_doc_length, max_doc_length)
+        terms: List[str] = list(
+            dict.fromkeys(sampler.sample_many(rng, terms_per_document))
+        )
+        term_tfs = tuple((term, rng.randint(min_tf, max_tf)) for term in terms)
+        yield StreamedDoc(doc_id=doc_id, length=length, term_tfs=term_tfs)

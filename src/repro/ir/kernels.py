@@ -1,0 +1,191 @@
+"""Vectorized scoring kernels over columnar posting stores (DESIGN.md §13).
+
+:class:`~repro.ir.postings.ColumnarPostings` already keeps a slot's
+postings as parallel ``array`` columns; this module views those columns
+through **zero-copy** ``np.frombuffer`` and scores an entire slot per
+query term in one vectorized pass — replacing the per-posting python
+loop of the query processor's phase B with a handful of array ops.
+
+Bit-identity contract
+---------------------
+
+The kernels are an off-switchable acceleration, held to the same
+standard as every other optimization layer in this repo: documents,
+scores, and tie-broken order must be **bit-identical** to the scalar
+path.  The argument:
+
+* the scalar contribution is ``qw * (ntf * idf)`` (``document_weight``
+  computes ``ntf * idf`` first, then the caller multiplies by ``qw``);
+  the kernel evaluates the same two multiplications elementwise in the
+  same order, and IEEE-754 multiplication is deterministic;
+* a document appears at most once per term slot, so per-document
+  accumulation order is *term order* in both shapes; the kernel adds
+  one term's contributions at a time (``np.add.at`` with per-call
+  unique indices), which is exactly that order;
+* the final normalization ``dot / sqrt(len)`` uses ``np.sqrt`` and
+  float64 division, both correctly rounded exactly like ``math.sqrt``
+  and python's ``/``;
+* document lengths are integers < 2**53, exact in float64.
+
+``tests/ir/test_kernel_equivalence.py`` proves the property with
+hypothesis; the sim oracle's sixth comparison replays a full system
+flow through both kernels.
+
+View lifetime
+-------------
+
+Views are cached on the store's :class:`~repro.ir.postings.KernelScratch`,
+keyed by slot version, so a hot slot pays ``np.frombuffer`` once per
+*mutation* rather than once per query.  The store drops the scratch
+before any column resize (``array`` forbids resizing while a buffer is
+exported) and replication deep-copies it to an empty scratch — see
+``KernelScratch`` for the full contract.  Callers must treat views as
+read-only and must not hold them across store mutations.
+
+This module imports numpy lazily through :mod:`repro.perf.compat`; with
+numpy absent every entry point returns ``None`` and callers fall back
+to the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..perf.compat import numpy_or_none
+from .postings import ColumnarPostings
+from .weighting import TfIdfWeighting, idf
+
+
+def slot_columns(store: ColumnarPostings):
+    """Zero-copy numpy views ``(doc_index, ntf, length, impact)`` over
+    *store*'s columns, cached per slot version.  ``None`` without numpy.
+    """
+    np = numpy_or_none()
+    if np is None:
+        return None
+    scratch = store.kernel_scratch
+    if scratch.views is not None and scratch.version == store.version:
+        return scratch.views
+    n = len(store)
+    # array('q') is always 8 bytes; array('L') is platform-sized.
+    length_dtype = np.uint32 if store._length.itemsize == 4 else np.uint64
+    if n == 0:
+        views = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=length_dtype),
+            np.empty(0, dtype=np.float64),
+        )
+    else:
+        views = (
+            np.frombuffer(store._doc_index, dtype=np.int64),
+            np.frombuffer(store._ntf, dtype=np.float64),
+            np.frombuffer(store._length, dtype=length_dtype),
+            np.frombuffer(store._impact, dtype=np.float64),
+        )
+    scratch.views = views
+    scratch.version = store.version
+    return views
+
+
+def slot_contributions(
+    store: ColumnarPostings,
+    query_weight: float,
+    document_frequency: int,
+    corpus_size: int,
+):
+    """Score one whole slot against a query term in one vectorized pass.
+
+    Returns ``(doc_index, contribution, length)`` arrays — the per-unit
+    inputs phase B accumulates — or ``None`` without numpy.  Each
+    contribution is ``qw * (ntf * idf)``, the scalar path's expression
+    with the scalar path's operation order.
+    """
+    views = slot_columns(store)
+    if views is None:
+        return None
+    doc_index, ntf, length, __ = views
+    idf_value = idf(corpus_size, document_frequency)
+    contribution = query_weight * (ntf * idf_value)
+    return doc_index, contribution, length
+
+
+def rescore(
+    term_infos: Sequence[tuple],
+    weighting: TfIdfWeighting,
+    survivors: Optional[Set[str]] = None,
+) -> Optional[Dict[str, float]]:
+    """Vectorized phase-B rescore: final ``{doc_id: score}`` for every
+    candidate (restricted to *survivors* when given), bit-identical to
+    the scalar accumulation loops.
+
+    *term_infos* rows are the query processor's
+    ``(term, view, query_weight, effective_df, bound)`` tuples in legacy
+    encounter order.  Returns ``None`` — caller falls back to the
+    scalar path — when numpy is unavailable, any term's slot is not
+    columnar, or the slots do not share one doc table.
+    """
+    np = numpy_or_none()
+    if np is None:
+        return None
+    stores: List[ColumnarPostings] = []
+    table = None
+    for info in term_infos:
+        store = info[1].columnar_store()
+        if store is None:
+            return None
+        if table is None:
+            table = store._docs
+        elif store._docs is not table:
+            return None
+        stores.append(store)
+    if not stores:
+        return {}
+    if survivors is not None:
+        if not survivors:
+            return {}
+        survivor_index = np.array(
+            sorted(
+                idx
+                for idx in (table.index_of(doc_id) for doc_id in survivors)
+                if idx is not None
+            ),
+            dtype=np.int64,
+        )
+
+    corpus_size = weighting.corpus_size
+    selected: List[Tuple[object, object, object]] = []
+    for store, info in zip(stores, term_infos):
+        qw, df = info[2], info[3]
+        doc_index, contribution, length = slot_contributions(
+            store, qw, df, corpus_size
+        )
+        if survivors is not None:
+            mask = np.isin(doc_index, survivor_index)
+            doc_index = doc_index[mask]
+            contribution = contribution[mask]
+            length = length[mask]
+        if doc_index.size:
+            selected.append((doc_index, contribution, length))
+    if not selected:
+        return {}
+
+    candidates = np.unique(np.concatenate([s[0] for s in selected]))
+    dot = np.zeros(candidates.size, dtype=np.float64)
+    lengths = np.zeros(candidates.size, dtype=np.int64)
+    for doc_index, contribution, length in selected:
+        position = np.searchsorted(candidates, doc_index)
+        # Indices are unique within one term slot, so each np.add.at
+        # call touches distinct positions: accumulation is per-document
+        # in term order — the scalar loops' exact order.
+        np.add.at(dot, position, contribution)
+        lengths[position] = length
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(
+            lengths > 0, dot / np.sqrt(lengths.astype(np.float64)), 0.0
+        )
+    doc_of = table.doc_id
+    return {
+        doc_of(int(index)): float(score)
+        for index, score in zip(candidates, scores)
+    }

@@ -17,13 +17,29 @@ Three cooperating pieces:
   destination-grouped batched) behind ``benchmarks/test_bench_ingest.py``
   and ``perf --mode ingest``.
 
-``bench``, ``topk``, and ``ingest`` are deliberately *not* imported
-here: they build rings and query processors, and the ring itself imports
-this package for ``PROFILE`` / ``RouteCache`` — import them explicitly
-as ``repro.perf.bench`` / ``repro.perf.topk`` / ``repro.perf.ingest``.
+* :mod:`repro.perf.compat` — lazy optional-dependency guards for the
+  ``perf`` extra (numpy), used by the vectorized scoring kernels;
+* :mod:`repro.perf.scale` — the DESIGN.md §13 scale-out harness:
+  process-sharded build/publish/query phases over a streamed corpus,
+  behind ``benchmarks/test_bench_scale.py`` and ``perf --mode scale``.
+
+``bench``, ``topk``, ``ingest``, and ``scale`` are deliberately *not*
+imported here: they build rings and query processors, and the ring
+itself imports this package for ``PROFILE`` / ``RouteCache`` — import
+them explicitly as ``repro.perf.bench`` / ``repro.perf.topk`` /
+``repro.perf.ingest`` / ``repro.perf.scale``.
 """
 
-from .profile import PROFILE, PerfProfile
+from .compat import have_numpy, numpy_or_none, require_numpy
+from .profile import PROFILE, PerfProfile, memory_usage
 from .route_cache import RouteCache
 
-__all__ = ["PROFILE", "PerfProfile", "RouteCache"]
+__all__ = [
+    "PROFILE",
+    "PerfProfile",
+    "RouteCache",
+    "have_numpy",
+    "memory_usage",
+    "numpy_or_none",
+    "require_numpy",
+]

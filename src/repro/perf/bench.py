@@ -62,6 +62,9 @@ class PerfWorkloadConfig:
     early_termination: bool = True
     #: Per-indexing-peer query-result cache capacity (0 = off).
     result_cache_size: int = 0
+    #: Phase-B scoring kernel ("python" scalar / "numpy" vectorized,
+    #: DESIGN.md §13); identical rankings either way.
+    kernel: str = "python"
 
     def replaced(self, **kwargs) -> "PerfWorkloadConfig":
         merged = {**asdict(self), **kwargs}
@@ -111,6 +114,10 @@ class PerfWorkloadResult:
     #: Query-result-cache counters (entries/hits/misses); ``None`` when
     #: result caching was off for the run.
     result_cache: Optional[Dict[str, int]] = None
+    #: Process peak RSS at the end of the run (kb; see
+    #: :func:`repro.perf.profile.memory_usage`).  Per-phase snapshots
+    #: live in the profile's ``mem.*`` gauges.
+    peak_rss_kb: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -155,8 +162,10 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
         batch_fetch=cfg.optimized,
         early_termination=cfg.early_termination,
         result_cache=cfg.result_cache_size > 0,
+        kernel=getattr(cfg, "kernel", "python"),
     )
     build_s = perf_counter() - t0
+    PROFILE.record_memory("build")
 
     # -- publish a synthetic term index (Zipf-skewed vocabulary) ----------
     vocab = [f"term{i:04d}" for i in range(cfg.vocabulary_size)]
@@ -183,6 +192,7 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
                 ),
             )
     publish_s = perf_counter() - t0
+    PROFILE.record_memory("publish")
 
     # -- query pool: distinct queries with Zipf popularity ----------------
     pool: List[Query] = []
@@ -222,6 +232,7 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
         for entry in ranked:
             checksum.update(f"{entry.doc_id}:{entry.score!r}".encode())
     query_s += perf_counter() - t_phase
+    memory = PROFILE.record_memory("query")
 
     lookups = ring.stats.kind(MessageKind.LOOKUP).messages - lookups_before
     total_s = build_s + publish_s + query_s + churn_s
@@ -254,4 +265,5 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
             if cfg.result_cache_size > 0
             else None
         ),
+        peak_rss_kb=memory["peak_rss_kb"],
     )

@@ -1,0 +1,58 @@
+"""Optional-dependency guards for the performance layer.
+
+numpy powers the vectorized scoring kernels (:mod:`repro.ir.kernels`)
+but is deliberately **optional**: the core system, the tier-1 test
+suite, and every default code path are pure python.  numpy ships in the
+``perf`` extra (``pip install repro[perf]``); anything that needs it
+goes through :func:`require_numpy` so a missing install fails with one
+clear, actionable message instead of a deep ``ImportError``.
+
+The import itself is lazy — probing for numpy costs nothing until the
+first caller actually asks, so importing :mod:`repro.perf` (which every
+ring does, for ``PROFILE``) never pays numpy's startup time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..exceptions import ConfigurationError
+
+#: Tri-state cache: ``None`` = not probed yet, ``False`` = probed and
+#: absent, otherwise the imported module object.
+_NUMPY: Any = None
+
+
+def numpy_or_none() -> Optional[Any]:
+    """The ``numpy`` module if importable, else ``None`` (probed once)."""
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = False
+        else:
+            _NUMPY = numpy
+    return _NUMPY or None
+
+
+def have_numpy() -> bool:
+    """True when numpy is importable in this interpreter."""
+    return numpy_or_none() is not None
+
+
+def require_numpy(feature: str = "this feature") -> Any:
+    """Return the ``numpy`` module or raise a clear configuration error.
+
+    *feature* names what the caller was trying to do, so the message
+    points at the exact knob that pulled in the dependency.
+    """
+    module = numpy_or_none()
+    if module is None:
+        raise ConfigurationError(
+            f"{feature} requires numpy, which is not installed. "
+            "Install the perf extra (pip install 'repro[perf]') or "
+            "plain numpy, or switch back to the pure-python path "
+            "(scoring kernel 'python')."
+        )
+    return module

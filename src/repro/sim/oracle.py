@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Five comparisons, all on a churn-free ring:
+Six comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -43,6 +43,15 @@ Five comparisons, all on a churn-free ring:
   integer posting columns; every float is recomputed through the same
   expressions the columnar store uses, so there is no tolerance to
   hide behind.
+
+* **Kernel-path equivalence** — the DESIGN.md §13 vectorized scoring
+  kernel (numpy slot views feeding phase B of top-k execution) is pure
+  data-layout work over the same floating-point expressions in the
+  same order, so a ``scoring_kernel="numpy"`` system must produce
+  rankings *bit-identical* to the scalar ``"python"`` path across the
+  full seeded flow.  When numpy is not installed the comparison
+  degenerates to an empty (vacuously consistent) report — the kernel
+  is an optional ``perf`` extra, never a correctness dependency.
 
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
@@ -204,6 +213,7 @@ class DifferentialOracle:
         result_cache_size: int = 0,
         batched_writes: bool = True,
         store_backend: str = "memory",
+        scoring_kernel: str = "python",
     ) -> SpriteConfig:
         return SpriteConfig(
             initial_terms=3,
@@ -217,6 +227,7 @@ class DifferentialOracle:
             result_cache_size=result_cache_size,
             batched_writes=batched_writes,
             store_backend=store_backend,
+            scoring_kernel=scoring_kernel,
         )
 
     def _build_sprite(self, optimized: bool) -> SpriteSystem:
@@ -465,6 +476,45 @@ class DifferentialOracle:
             chord_config=self._chord_config(optimized=True),
         )
 
+    # -- comparison 3c: vectorized vs scalar scoring kernel ------------------
+
+    def check_kernel_paths(self) -> OracleReport:
+        """Replay the full seeded flow through a vectorized
+        (``scoring_kernel="numpy"``) and a scalar (``"python"``) system;
+        every test-query ranking must match bit for bit.  The kernel is
+        an optional extra, so without numpy the report is empty (zero
+        queries compared) and vacuously consistent."""
+        from ..perf.compat import have_numpy
+
+        report = OracleReport(name="kernel-paths")
+        if not have_numpy():
+            return report
+        vectorized = self._build_kernel_sprite(scoring_kernel="numpy")
+        scalar = self._build_kernel_sprite(scoring_kernel="python")
+        for system in (vectorized, scalar):
+            system.share_corpus()
+            system.register_queries(self.train)
+            system.run_learning()
+        for query in self.test:
+            fast = _pairs(vectorized.search(query, cache=False))
+            slow = _pairs(scalar.search(query, cache=False))
+            report.queries_compared += 1
+            if fast != slow:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=f"numpy={fast[:3]}... python={slow[:3]}...",
+                    )
+                )
+        return report
+
+    def _build_kernel_sprite(self, scoring_kernel: str) -> SpriteSystem:
+        return SpriteSystem(
+            self.corpus,
+            sprite_config=self._sprite_config(scoring_kernel=scoring_kernel),
+            chord_config=self._chord_config(optimized=True),
+        )
+
     # -- comparison 4: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
@@ -522,6 +572,7 @@ class DifferentialOracle:
             self.check_topk_paths(),
             self.check_ingest_paths(),
             self.check_store_paths(),
+            self.check_kernel_paths(),
             self.check_centralized_baseline(),
         ]
         return {r.name: r for r in reports}

@@ -97,6 +97,53 @@ class TestZipfSampler:
         assert abs(counts["x"] - counts["y"]) < 400
 
 
+class TestSampleManyEquivalence:
+    """The bulk path is a drop-in for a loop of single draws: same
+    results *and* the same RNG consumption, so interleaving bulk and
+    single draws never perturbs downstream randomness."""
+
+    def test_bulk_matches_loop_and_rng_state(self) -> None:
+        sampler = ZipfSampler([f"t{i}" for i in range(40)], 0.8)
+        for seed in range(20):
+            bulk_rng = random.Random(seed)
+            loop_rng = random.Random(seed)
+            bulk = sampler.sample_many(bulk_rng, 137)
+            loop = [sampler.sample(loop_rng) for __ in range(137)]
+            assert bulk == loop
+            assert bulk_rng.getstate() == loop_rng.getstate()
+
+    def test_count_zero_and_negative_draw_nothing(self) -> None:
+        sampler = CategoricalSampler(["a"], [1.0])
+        rng = random.Random(0)
+        state = rng.getstate()
+        assert sampler.sample_many(rng, 0) == []
+        assert sampler.sample_many(rng, -3) == []
+        assert rng.getstate() == state
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=100),
+            min_size=1,
+            max_size=25,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_loop_equivalence_property(
+        self, weights: list, seed: int, count: int
+    ) -> None:
+        if sum(weights) <= 0:
+            weights[0] = 1.0
+        items = [f"item{i}" for i in range(len(weights))]
+        sampler = CategoricalSampler(items, weights)
+        bulk_rng, loop_rng = random.Random(seed), random.Random(seed)
+        bulk = sampler.sample_many(bulk_rng, count)
+        loop = [sampler.sample(loop_rng) for __ in range(count)]
+        assert bulk == loop
+        assert bulk_rng.getstate() == loop_rng.getstate()
+
+
 @given(
     st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=30),
     st.integers(min_value=0, max_value=2**32 - 1),

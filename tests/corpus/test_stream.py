@@ -1,0 +1,97 @@
+"""The streaming synthetic corpus generator (DESIGN.md §13)."""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+
+import pytest
+
+from repro.corpus.sampling import zipf_weights
+from repro.corpus.stream import StreamedDoc, stream_synthetic_docs
+
+VOCAB = [f"term{i:03d}" for i in range(50)]
+WEIGHTS = zipf_weights(len(VOCAB), 0.8)
+
+
+def _stream(seed: int = 9, **kwargs):
+    params = dict(
+        vocabulary=VOCAB,
+        weights=WEIGHTS,
+        num_documents=40,
+        terms_per_document=6,
+    )
+    params.update(kwargs)
+    return stream_synthetic_docs(random.Random(seed), **params)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self) -> None:
+        assert list(_stream(seed=3)) == list(_stream(seed=3))
+
+    def test_different_seed_different_stream(self) -> None:
+        assert list(_stream(seed=3)) != list(_stream(seed=4))
+
+    def test_prefix_stable_under_count(self) -> None:
+        """The first k documents do not depend on how many more will be
+        generated — a shard can size its stream freely."""
+        short = list(_stream(seed=7, num_documents=10))
+        long_prefix = list(islice(_stream(seed=7, num_documents=40), 10))
+        assert short == long_prefix
+
+
+class TestShape:
+    def test_ids_lengths_and_tfs_in_range(self) -> None:
+        docs = list(_stream())
+        assert [d.doc_id for d in docs] == [f"doc{i:07d}" for i in range(40)]
+        for doc in docs:
+            assert 80 <= doc.length <= 240
+            assert 1 <= len(doc.term_tfs) <= 6
+            terms = [t for t, __ in doc.term_tfs]
+            assert len(set(terms)) == len(terms), "duplicates must collapse"
+            for term, tf in doc.term_tfs:
+                assert term in VOCAB
+                assert 1 <= tf <= 12
+
+    def test_id_prefix_respected(self) -> None:
+        doc = next(_stream(id_prefix="s03-d"))
+        assert doc.doc_id == "s03-d0000000"
+
+    def test_rows_are_immutable(self) -> None:
+        doc = next(_stream())
+        assert isinstance(doc, StreamedDoc)
+        with pytest.raises(AttributeError):
+            doc.length = 0  # type: ignore[misc]
+
+
+class TestLaziness:
+    def test_returns_a_generator_and_defers_work(self) -> None:
+        rng = random.Random(5)
+        state = rng.getstate()
+        stream = stream_synthetic_docs(
+            rng, VOCAB, WEIGHTS, num_documents=10**9, terms_per_document=6
+        )
+        # A billion-document stream costs nothing until consumed.
+        assert rng.getstate() == state
+        first = next(stream)
+        assert first.doc_id == "doc0000000"
+        assert rng.getstate() != state
+
+    def test_zero_documents_yields_nothing(self) -> None:
+        assert list(_stream(num_documents=0)) == []
+
+
+class TestValidation:
+    def test_negative_documents_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            next(_stream(num_documents=-1))
+
+    def test_zero_terms_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            next(_stream(terms_per_document=0))
+
+    def test_bad_length_bounds_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            next(_stream(min_doc_length=100, max_doc_length=90))
+        with pytest.raises(ValueError):
+            next(_stream(min_doc_length=0))

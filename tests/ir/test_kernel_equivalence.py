@@ -1,0 +1,238 @@
+"""Bit-identity of the vectorized scoring kernels (DESIGN.md §13).
+
+The numpy kernel path (`QueryProcessor(kernel="numpy")`) is pure
+data-layout acceleration: identical documents, bit-identical scores,
+identical tie-broken order versus the scalar path — slot by slot
+(hypothesis over random columns) and end to end (hypothesis over seeded
+workloads, early termination on and off, peer failures included).
+Without numpy the kernels step aside: every entry point returns
+``None`` and the processor refuses ``kernel="numpy"`` with a pointed
+error.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChordConfig
+from repro.core.indexer import IndexingProtocol
+from repro.core.metadata import PostingEntry
+from repro.core.query_processing import QueryProcessor
+from repro.corpus.relevance import Query
+from repro.dht.ring import ChordRing
+from repro.exceptions import ConfigurationError
+from repro.ir import kernels
+from repro.ir.postings import ColumnarPostings, DocTable
+from repro.ir.weighting import TfIdfWeighting, idf
+from repro.perf.compat import have_numpy
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed (perf extra)"
+)
+
+VOCAB = [f"kw{i:03d}" for i in range(24)]
+
+
+def build_stack(*, kernel: str, seed: int = 11, early_termination: bool = True):
+    ring = ChordRing(ChordConfig(num_peers=32, seed=seed, route_cache_size=4096))
+    protocol = IndexingProtocol(ring, columnar_postings=True)
+    processor = QueryProcessor(
+        protocol,
+        assumed_corpus_size=10_000,
+        batch_fetch=True,
+        early_termination=early_termination,
+        kernel=kernel,
+    )
+    rng = random.Random(seed)
+    for d in range(25):
+        doc_id = f"d{d:03d}"
+        owner = ring.random_live_id(rng)
+        length = 40 + 9 * d
+        for term in sorted(rng.sample(VOCAB, 5)):
+            protocol.publish(
+                owner,
+                term,
+                PostingEntry(doc_id, owner, rng.randint(1, 9), length),
+            )
+    return ring, protocol, processor
+
+
+def pairs(ranked):
+    return [(e.doc_id, e.score) for e in ranked]
+
+
+@needs_numpy
+class TestSlotKernel:
+    """The per-slot kernel against a transliterated scalar loop."""
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),  # doc number
+                st.integers(min_value=1, max_value=50),  # raw tf
+                st.integers(min_value=0, max_value=500),  # doc length
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        query_weight=st.floats(min_value=0.0, max_value=20.0),
+        document_frequency=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_slot_contributions_bit_identical(
+        self, rows, query_weight, document_frequency
+    ) -> None:
+        table = DocTable()
+        store = ColumnarPostings(doc_table=table)
+        for doc_no, raw_tf, length in rows:
+            store.add(f"doc{doc_no}", owner_peer=1, raw_tf=raw_tf, doc_length=length)
+        corpus_size = 10_000
+        result = kernels.slot_contributions(
+            store, query_weight, document_frequency, corpus_size
+        )
+        assert result is not None
+        doc_index, contribution, length_col = result
+        assert len(doc_index) == len(contribution) == len(length_col) == len(store)
+        idf_value = idf(corpus_size, document_frequency)
+        for pos, (doc_id, __, raw_tf, doc_length) in enumerate(store.rows()):
+            ntf = raw_tf / doc_length if doc_length > 0 else 0.0
+            # The scalar path's exact expression and operation order.
+            expected = query_weight * (ntf * idf_value)
+            assert table.doc_id(int(doc_index[pos])) == doc_id
+            assert float(contribution[pos]) == expected
+            assert int(length_col[pos]) == doc_length
+
+    def test_views_cached_until_mutation(self) -> None:
+        store = ColumnarPostings(doc_table=DocTable())
+        store.add("a", 1, 3, 100)
+        first = kernels.slot_columns(store)
+        assert kernels.slot_columns(store) is first  # same version: cached
+        first_version = store.kernel_scratch.version
+        # Contract: callers must not hold views across mutations — the
+        # live export would block the column resize.
+        del first
+        store.add("b", 1, 2, 90)  # mutation drops the scratch
+        second = kernels.slot_columns(store)
+        assert store.kernel_scratch.version != first_version
+        assert second[0].size == 2
+
+    def test_mutation_after_views_does_not_raise(self) -> None:
+        """array() refuses to resize with exported buffers; the scratch
+        drop must run before any append/delete."""
+        store = ColumnarPostings(doc_table=DocTable())
+        store.add("a", 1, 3, 100)
+        kernels.slot_columns(store)
+        store.add("b", 1, 2, 90)  # would raise BufferError without drop()
+        store.remove("a")
+        assert len(store) == 1
+
+
+class TestRescoreFallback:
+    def test_rescore_without_terms_is_empty(self) -> None:
+        if not have_numpy():
+            pytest.skip("numpy not installed (perf extra)")
+        assert kernels.rescore([], TfIdfWeighting(corpus_size=100)) == {}
+
+    def test_rescore_none_without_numpy(self, monkeypatch) -> None:
+        import repro.perf.compat as compat
+
+        monkeypatch.setattr(compat, "_NUMPY", False)
+        assert kernels.slot_columns(ColumnarPostings(doc_table=DocTable())) is None
+        assert kernels.rescore([], TfIdfWeighting(corpus_size=100)) is None
+
+    def test_processor_rejects_numpy_kernel_without_numpy(
+        self, monkeypatch
+    ) -> None:
+        import repro.perf.compat as compat
+
+        monkeypatch.setattr(compat, "_NUMPY", False)
+        ring = ChordRing(ChordConfig(num_peers=8, seed=1))
+        protocol = IndexingProtocol(ring)
+        with pytest.raises(ConfigurationError, match="repro\\[perf\\]"):
+            QueryProcessor(protocol, assumed_corpus_size=100, kernel="numpy")
+
+    def test_processor_rejects_unknown_kernel(self) -> None:
+        ring = ChordRing(ChordConfig(num_peers=8, seed=1))
+        protocol = IndexingProtocol(ring)
+        with pytest.raises(ConfigurationError, match="kernel must be one of"):
+            QueryProcessor(protocol, assumed_corpus_size=100, kernel="simd")
+
+
+@needs_numpy
+class TestEndToEnd:
+    def test_numpy_kernel_falls_back_on_legacy_slots(self) -> None:
+        """Non-columnar slots cannot be viewed; the numpy processor must
+        silently take the scalar path and still match a python one."""
+        def legacy_stack(kernel: str):
+            ring = ChordRing(ChordConfig(num_peers=16, seed=3))
+            protocol = IndexingProtocol(ring, columnar_postings=False)
+            processor = QueryProcessor(
+                protocol, assumed_corpus_size=10_000, kernel=kernel
+            )
+            rng = random.Random(3)
+            for d in range(12):
+                owner = ring.random_live_id(rng)
+                for term in sorted(rng.sample(VOCAB, 4)):
+                    protocol.publish(
+                        owner,
+                        term,
+                        PostingEntry(f"d{d}", owner, rng.randint(1, 9), 50 + d),
+                    )
+            return ring, processor
+
+        ring_n, proc_n = legacy_stack("numpy")
+        ring_p, proc_p = legacy_stack("python")
+        for term in VOCAB[:8]:
+            query = Query(f"q-{term}", (term,))
+            ranked_n, __ = proc_n.execute(
+                ring_n.live_ids[0], query, top_k=6, cache=False
+            )
+            ranked_p, __ = proc_p.execute(
+                ring_p.live_ids[0], query, top_k=6, cache=False
+            )
+            assert pairs(ranked_n) == pairs(ranked_p)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        top_k=st.integers(min_value=0, max_value=40),
+        num_terms=st.integers(min_value=1, max_value=4),
+        early_termination=st.booleans(),
+        fail_first_term=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_kernel_equivalence_property(
+        self,
+        seed: int,
+        top_k: int,
+        num_terms: int,
+        early_termination: bool,
+        fail_first_term: bool,
+    ) -> None:
+        """For any seeded workload — early termination on or off, peer
+        failures included — the numpy and python kernels return
+        identical documents, scores, and order."""
+        rng = random.Random(seed)
+        terms = tuple(rng.choice(VOCAB) for __ in range(num_terms))
+        query = Query("prop", tuple(sorted(set(terms))))
+
+        rankings = []
+        for kernel in ("numpy", "python"):
+            ring, protocol, processor = build_stack(
+                kernel=kernel,
+                seed=seed % 17,
+                early_termination=early_termination,
+            )
+            if fail_first_term:
+                victim = ring.successor_of(protocol.term_hash(query.terms[0]))
+                ring.fail(victim)
+                if victim == ring.live_ids[0]:
+                    return  # issuer crashed; nothing to compare
+            ranked, __ = processor.execute(
+                ring.live_ids[0], query, top_k=top_k, cache=False
+            )
+            rankings.append(pairs(ranked))
+        assert rankings[0] == rankings[1]

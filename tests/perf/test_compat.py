@@ -1,0 +1,46 @@
+"""Optional-dependency guards for the perf extra."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.perf.compat as compat
+from repro.exceptions import ConfigurationError
+from repro.perf import have_numpy, numpy_or_none, require_numpy
+
+
+class TestProbe:
+    def test_probe_is_cached(self, monkeypatch) -> None:
+        monkeypatch.setattr(compat, "_NUMPY", None)
+        first = compat.numpy_or_none()
+        assert compat._NUMPY is not None  # probed exactly once
+        assert compat.numpy_or_none() is first
+
+    def test_have_numpy_matches_probe(self) -> None:
+        assert have_numpy() == (numpy_or_none() is not None)
+
+    def test_require_returns_module_when_present(self) -> None:
+        if not have_numpy():
+            pytest.skip("numpy not installed (perf extra)")
+        module = require_numpy("test")
+        assert module.__name__ == "numpy"
+
+
+class TestAbsentNumpy:
+    """Simulated absence: the probe cache is forced to 'probed, absent'."""
+
+    @pytest.fixture(autouse=True)
+    def _without_numpy(self, monkeypatch):
+        monkeypatch.setattr(compat, "_NUMPY", False)
+
+    def test_probe_reports_absent(self) -> None:
+        assert compat.numpy_or_none() is None
+        assert not compat.have_numpy()
+
+    def test_require_raises_actionable_error(self) -> None:
+        with pytest.raises(ConfigurationError) as excinfo:
+            compat.require_numpy("QueryProcessor(kernel='numpy')")
+        message = str(excinfo.value)
+        assert "QueryProcessor(kernel='numpy')" in message
+        assert "repro[perf]" in message
+        assert "python" in message  # names the fallback path

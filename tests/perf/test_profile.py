@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.perf import PROFILE, PerfProfile
+from repro.perf import PROFILE, PerfProfile, memory_usage
 from repro.perf.bench import (
     PerfWorkloadConfig,
     run_perf_workload,
@@ -54,6 +54,53 @@ class TestPerfProfile:
         assert not PROFILE.enabled
 
 
+class TestMemoryAccounting:
+    def test_memory_usage_snapshot_shape(self) -> None:
+        snapshot = memory_usage()
+        assert set(snapshot) == {"rss_kb", "peak_rss_kb", "allocated_blocks"}
+        # Linux/macOS report real numbers; the fallback is all-zero.
+        assert snapshot["peak_rss_kb"] >= snapshot["rss_kb"] >= 0
+        assert snapshot["allocated_blocks"] >= 0
+
+    def test_gauges_set_max_and_reset(self) -> None:
+        profile = PerfProfile().enable()
+        profile.gauge("mem.x.rss_kb", 10)
+        profile.gauge("mem.x.rss_kb", 4)  # gauge overwrites
+        profile.max_gauge("mem.peak_rss_kb", 7)
+        profile.max_gauge("mem.peak_rss_kb", 3)  # max keeps the high-water
+        assert profile.gauge_value("mem.x.rss_kb") == 4
+        assert profile.gauge_value("mem.peak_rss_kb") == 7
+        assert profile.gauge_value("absent", default=-1.0) == -1.0
+        profile.reset()
+        assert profile.gauge_value("mem.peak_rss_kb") == 0.0
+
+    def test_gauges_ignored_while_disabled(self) -> None:
+        profile = PerfProfile()
+        profile.gauge("g", 5)
+        profile.max_gauge("m", 5)
+        assert profile.gauge_value("g") == 0.0
+        assert profile.gauge_value("m") == 0.0
+
+    def test_record_memory_writes_gauges_only_when_enabled(self) -> None:
+        profile = PerfProfile()
+        snapshot = profile.record_memory("phase")
+        assert set(snapshot) == {"rss_kb", "peak_rss_kb", "allocated_blocks"}
+        assert profile.gauge_value("mem.phase.rss_kb") == 0.0
+        profile.enable()
+        snapshot = profile.record_memory("phase")
+        assert profile.gauge_value("mem.phase.rss_kb") == snapshot["rss_kb"]
+        assert (
+            profile.gauge_value("mem.peak_rss_kb") == snapshot["peak_rss_kb"]
+        )
+
+    def test_summary_and_report_include_gauges(self) -> None:
+        profile = PerfProfile().enable()
+        profile.gauge("mem.build.rss_kb", 1234)
+        summary = profile.summary()
+        assert summary["gauges"]["mem.build.rss_kb"] == 1234
+        assert "mem.build.rss_kb" in profile.report()
+
+
 class TestPerfWorkload:
     def test_smoke_workload_is_deterministic_and_equivalent(self) -> None:
         """The tracked scenario: the optimized and baseline stacks must
@@ -87,7 +134,8 @@ class TestPerfWorkload:
         payload = json.loads(json.dumps(result.to_dict()))
         assert payload["num_queries"] == 40
         assert payload["queries_per_s"] > 0
-        assert set(payload["profile"]) == {"timers", "counters"}
+        assert set(payload["profile"]) == {"timers", "counters", "gauges"}
+        assert payload["peak_rss_kb"] >= 0
 
     def test_workload_leaves_global_profile_disabled(self) -> None:
         cfg = PerfWorkloadConfig(

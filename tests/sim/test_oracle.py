@@ -1,11 +1,12 @@
 """The differential oracle: perf paths, top-k paths, ingest paths,
-and the centralized baseline."""
+store paths, kernel paths, and the centralized baseline."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.corpus.synthetic import SyntheticTrecCorpus
+from repro.perf.compat import have_numpy
 from repro.sim import DifferentialOracle, FullIndexSystem, write_state_fingerprint
 
 
@@ -85,6 +86,33 @@ class TestIngestPaths:
         assert len(fingerprint["version_rank"]) == len(fingerprint["slots"])
 
 
+class TestKernelPaths:
+    def test_numpy_and_python_rankings_bit_identical(self, oracle) -> None:
+        report = oracle.check_kernel_paths()
+        if have_numpy():
+            assert report.queries_compared > 0
+        else:
+            assert report.queries_compared == 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+    def test_builders_differ_only_in_kernel_switch(self, oracle) -> None:
+        if not have_numpy():
+            pytest.skip("numpy not installed (perf extra)")
+        fast = oracle._build_kernel_sprite(scoring_kernel="numpy")
+        slow = oracle._build_kernel_sprite(scoring_kernel="python")
+        assert fast.processor.kernel == "numpy"
+        assert slow.processor.kernel == "python"
+        assert fast.ring.live_ids == slow.ring.live_ids
+
+    def test_report_empty_without_numpy(self, oracle, monkeypatch) -> None:
+        import repro.perf.compat as compat
+
+        monkeypatch.setattr(compat, "_NUMPY", False)
+        report = oracle.check_kernel_paths()
+        assert report.queries_compared == 0
+        assert report.ok
+
+
 class TestCentralizedBaseline:
     def test_full_index_matches_centralized_tfidf(self, oracle) -> None:
         report = oracle.check_centralized_baseline()
@@ -110,6 +138,7 @@ class TestCheckAll:
             "topk-paths",
             "ingest-paths",
             "store-paths",
+            "kernel-paths",
             "centralized-baseline",
         }
         assert all(r.ok for r in reports.values())
