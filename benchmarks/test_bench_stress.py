@@ -1,0 +1,197 @@
+"""Tracked quality-under-stress benchmark (DESIGN.md §14).
+
+Runs the adversarial workload catalogue (:mod:`repro.sim.catalogue`) and
+records, per scenario, the invariant verdict and the precision / recall
+/ NDCG readouts taken before, during, and after the stress window into
+``benchmarks/BENCH_STRESS.json`` — a *quality* trajectory under flash
+crowds, hot-term storms, and regional failures, not just a throughput
+one.
+
+Scales (``BENCH_STRESS_SCALE``):
+
+* ``smoke`` (default) — the three headline scenarios on a 24-peer ring;
+  what CI's benchmark smoke job runs.
+* ``paper`` — the full seven-scenario catalogue on a 64-peer ring (the
+  tracked record).
+
+Gates: invariant violations and non-quiescent endings fail
+unconditionally (they are correctness, not performance).  The quality
+gates — absolute floors on after-stress precision/NDCG, plus a
+no-regression check against the committed record when
+``BENCH_STRESS_ENFORCE=1`` — keep the catalogue honest about *result
+quality* surviving the stress, which a pure throughput gate would miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.sim import CATALOGUE, report_record, run_catalogue
+
+RECORD_PATH = Path(__file__).parent / "BENCH_STRESS.json"
+SCALE = os.environ.get("BENCH_STRESS_SCALE", "smoke")
+ENFORCE = os.environ.get("BENCH_STRESS_ENFORCE", "") == "1"
+SEED = 0
+
+#: The scenarios every scale must cover (the ISSUE's required trio).
+HEADLINE = ("flash_crowd", "hot_term_storm", "regional_failure")
+
+#: Ring size and scenario selection per scale.
+GRID = {
+    "smoke": {"peers": 24, "names": list(HEADLINE)},
+    "paper": {"peers": 64, "names": sorted(CATALOGUE)},
+}
+
+#: Absolute quality floors on the after-stress probe: the distributed
+#: system, once healed, must still find a substantial fraction of what
+#: the centralized TF-IDF oracle finds.  (Seed-0 steady state sits near
+#: precision 0.35 / NDCG 0.45; the floors leave slack for drift, not
+#: for collapse.)
+PRECISION_FLOOR = 0.2
+NDCG_FLOOR = 0.3
+#: Max tolerated after-stress quality regression vs the committed
+#: record (enforced runs only).
+REGRESSION_FLOOR = 0.85
+
+
+def _format_table(rows: Dict[str, Dict[str, object]]) -> str:
+    lines = [
+        f"quality under stress [{SCALE}] (seed={SEED})",
+        f"{'scenario':<18} {'viol':>4} {'quiet':>5} "
+        f"{'p_before':>9} {'p_during':>9} {'p_after':>8} "
+        f"{'ndcg_after':>11} {'hits/misses':>12}",
+    ]
+    for name, row in rows.items():
+        quality = row["quality"]
+        storms = row.get("storms", {})
+        hm = (
+            f"{storms['cache_hits']}/{storms['cache_misses']}"
+            if storms
+            else "-"
+        )
+        lines.append(
+            f"{name:<18} {row['violations']:>4} "
+            f"{str(row['final_quiescent']):>5} "
+            f"{quality['before']['precision']:>9.3f} "
+            f"{quality['during']['precision']:>9.3f} "
+            f"{quality['after']['precision']:>8.3f} "
+            f"{quality['after']['ndcg']:>11.3f} {hm:>12}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def measurements(record_result):
+    committed = {}
+    if RECORD_PATH.exists():
+        committed = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+
+    grid = GRID[SCALE]
+    reports = run_catalogue(grid["names"], seed=SEED, num_peers=grid["peers"])
+    rows = {name: report_record(report) for name, report in reports.items()}
+    for row in rows.values():
+        row["peers"] = grid["peers"]
+        row["seed"] = SEED
+
+    record = dict(committed)
+    record[SCALE] = {"rows": rows}
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    record_result("stress", _format_table(rows))
+    return {"rows": rows, "committed": committed}
+
+
+def test_bench_stress_flash_crowd(benchmark) -> None:
+    """Time one flash-crowd run for the pytest-benchmark table."""
+    from repro.sim import run_catalogue_entry
+
+    benchmark.pedantic(
+        run_catalogue_entry,
+        args=("flash_crowd",),
+        kwargs={"seed": SEED, "num_peers": 24},
+        rounds=1,
+        iterations=1,
+    )
+
+
+class TestCorrectnessGates:
+    """Unconditional: stress must not break invariants or healing."""
+
+    def test_covers_the_headline_scenarios(self, measurements) -> None:
+        for name in HEADLINE:
+            assert name in measurements["rows"], name
+
+    def test_no_invariant_violations(self, measurements) -> None:
+        for name, row in measurements["rows"].items():
+            assert row["violations"] == 0, f"{name}: {row['violations']}"
+
+    def test_every_schedule_ends_quiescent(self, measurements) -> None:
+        for name, row in measurements["rows"].items():
+            assert row["final_quiescent"], name
+
+    def test_every_row_probes_before_during_after(self, measurements) -> None:
+        for name, row in measurements["rows"].items():
+            for label in ("before", "during", "after"):
+                assert label in row["quality"], f"{name}: missing {label}"
+                assert row["quality"][label]["queries"] > 0, name
+
+
+class TestQualityGates:
+    """The smoke gate CI runs: result quality, not just throughput."""
+
+    def test_after_stress_precision_floor(self, measurements) -> None:
+        for name, row in measurements["rows"].items():
+            after = row["quality"]["after"]
+            assert after["precision"] >= PRECISION_FLOOR, (
+                f"{name}: after-stress precision {after['precision']:.3f} "
+                f"fell below the {PRECISION_FLOOR} floor"
+            )
+
+    def test_after_stress_ndcg_floor(self, measurements) -> None:
+        for name, row in measurements["rows"].items():
+            after = row["quality"]["after"]
+            assert after["ndcg"] >= NDCG_FLOOR, (
+                f"{name}: after-stress NDCG {after['ndcg']:.3f} "
+                f"fell below the {NDCG_FLOOR} floor"
+            )
+
+    def test_healing_restores_baseline_quality(self, measurements) -> None:
+        """After the heal epilogue, quality returns to (near) the
+        pre-stress probe — stress may dent `during`, never `after`."""
+        for name, row in measurements["rows"].items():
+            before = row["quality"]["before"]
+            after = row["quality"]["after"]
+            assert after["precision"] >= 0.9 * before["precision"], name
+            assert after["ndcg"] >= 0.85 * before["ndcg"], name
+
+
+class TestRegressionGuard:
+    def _gate(self, measurements):
+        committed = measurements["committed"].get(SCALE, {}).get("rows", {})
+        if not committed:
+            pytest.skip("no committed record for this scale yet")
+        if not ENFORCE:
+            pytest.skip("BENCH_STRESS_ENFORCE not set (informational run)")
+        return committed
+
+    def test_after_quality_vs_committed_record(self, measurements) -> None:
+        committed = self._gate(measurements)
+        for name, row in measurements["rows"].items():
+            if name not in committed:
+                continue
+            for metric in ("precision", "ndcg"):
+                floor = (
+                    REGRESSION_FLOOR
+                    * committed[name]["quality"]["after"][metric]
+                )
+                current = row["quality"]["after"][metric]
+                assert current >= floor, (
+                    f"{name}: after-stress {metric} regressed "
+                    f"({current:.3f} vs committed floor {floor:.3f})"
+                )

@@ -18,7 +18,9 @@ perf        Run the tracked performance workload (publish + Zipf query
             stream + churn) with the optimization layer on or off and
             print throughput, route-cache, and profile numbers.
 check       Run the verification harness (repro.sim): execute a scenario
-            — from a JSON file or randomly generated from a seed —
+            — from a JSON file, randomly generated from a seed, or a
+            named entry of the adversarial workload catalogue
+            (``--catalogue flash_crowd``, ``--catalogue all``) —
             checking the invariant catalogue between events, then run
             the differential oracle against centralized TF-IDF.
 
@@ -156,6 +158,27 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
         help="checkpoint every N applied scenario events (0 = only "
         "explicit snapshot events)",
     )
+
+
+def _store_args_error(args: argparse.Namespace) -> Optional[str]:
+    """Shared validation for the durable-store flags.
+
+    ``check`` and ``perf`` take the same ``--store-*`` flags; their
+    validation drifted apart over several releases, so both route
+    through this one helper and emit byte-identical messages.
+    """
+    if args.store_backend != "sqlite":
+        for flag, attr in (
+            ("--store-dir", "store_dir"),
+            ("--snapshot-dir", "snapshot_dir"),
+        ):
+            if getattr(args, attr):
+                return f"error: {flag} requires --store-backend sqlite\n"
+        if args.snapshot_interval:
+            return "error: --snapshot-interval requires --store-backend sqlite\n"
+    if args.snapshot_interval < 0:
+        return "error: --snapshot-interval must be >= 0\n"
+    return None
 
 
 def _build_env(args: argparse.Namespace, out) -> object:
@@ -364,6 +387,10 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
             "the perf workload measures the in-process hot path and only "
             "supports --transport perfect"
         )
+    error = _store_args_error(args)
+    if error:
+        out.write(error)
+        return 2
     if args.mode == "topk":
         return _cmd_perf_topk(args, out)
     if args.mode == "ingest":
@@ -582,8 +609,8 @@ def _cmd_perf_store(args: argparse.Namespace, out) -> int:
     cfg = store_smoke_config() if args.small else store_paper_config()
     cfg = cfg.replaced(
         seed=args.seed,
-        store_dir=getattr(args, "store_dir", "") or "",
-        snapshot_dir=getattr(args, "snapshot_dir", "") or "",
+        store_dir=args.store_dir,
+        snapshot_dir=args.snapshot_dir,
     )
     out.write(
         f"store comparison: {cfg.num_peers} peers, {cfg.num_documents} "
@@ -641,22 +668,83 @@ def _cmd_perf_store(args: argparse.Namespace, out) -> int:
     return 0 if comparison.checksums_match and snapshot_cheaper else 1
 
 
+def _cmd_check_catalogue(args: argparse.Namespace, out) -> int:
+    """Run named adversarial-catalogue scenarios (DESIGN.md §14) and
+    print each run's invariant verdict plus its quality-under-stress
+    readouts.  Exit 1 if any run violates an invariant or fails to end
+    quiescent."""
+    import json
+
+    from .sim import CATALOGUE, report_record, run_catalogue
+
+    names = sorted(CATALOGUE) if args.catalogue == "all" else [args.catalogue]
+    unknown = [name for name in names if name not in CATALOGUE]
+    if unknown:
+        out.write(
+            f"error: unknown catalogue scenario {unknown[0]!r} "
+            f"(choose from {', '.join(sorted(CATALOGUE))}, or 'all')\n"
+        )
+        return 2
+    failed = False
+    records = {}
+    for name in names:
+        entry = CATALOGUE[name]
+        out.write(
+            f"[{name}] {entry.description} "
+            f"(seed={args.seed}, {args.peers} peers, "
+            f"{entry.transport} transport)\n"
+        )
+        report = run_catalogue(
+            [name], seed=args.seed, num_peers=args.peers
+        )[name]
+        for line in report.summary_lines():
+            out.write("  " + line + "\n")
+        records[name] = report_record(report)
+        if not report.ok or not report.final_quiescent:
+            failed = True
+            if report.ok:
+                out.write("  NOT QUIESCENT at end of schedule\n")
+    if args.json:
+        out.write(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return 1 if failed else 0
+
+
 def cmd_check(args: argparse.Namespace, out) -> int:
     """Run the repro.sim verification harness.
 
     Executes a scenario (``--scenario file.json`` to replay a saved
-    schedule, ``--random`` to generate one from ``--seed``) against a
-    micro SPRITE deployment, checking the two-tier invariant catalogue
-    between events; then runs the differential oracle (optimized vs
-    direct execution paths, full-index SPRITE vs centralized TF-IDF).
-    Exit code 1 on any invariant violation or oracle mismatch.
+    schedule, ``--random`` to generate one from ``--seed``, or
+    ``--catalogue NAME|all`` to run the adversarial workload catalogue)
+    against a micro SPRITE deployment, checking the two-tier invariant
+    catalogue between events; then runs the differential oracle
+    (optimized vs direct execution paths, full-index SPRITE vs
+    centralized TF-IDF).  Exit code 1 on any invariant violation or
+    oracle mismatch.
     """
     from .net import build_transport
     from .sim import DifferentialOracle, Scenario, build_simulation, random_scenario
 
-    if bool(args.scenario) == bool(args.random):
-        out.write("error: pass exactly one of --scenario FILE or --random\n")
+    modes = [bool(args.scenario), bool(args.random), bool(args.catalogue)]
+    if sum(modes) != 1:
+        out.write(
+            "error: pass exactly one of --scenario FILE, --random, "
+            "or --catalogue NAME\n"
+        )
         return 2
+    error = _store_args_error(args)
+    if error:
+        out.write(error)
+        return 2
+    if args.catalogue:
+        # Catalogue entries define their own transport and result-cache
+        # configuration; only --seed/--peers apply.
+        if args.store_backend != "memory":
+            out.write(
+                "error: --catalogue scenarios define their own engine "
+                "configuration; drop --store-backend\n"
+            )
+            return 2
+        return _cmd_check_catalogue(args, out)
     network = _config_from_args(args).network
     transport = build_transport(network) if network.transport != "perfect" else None
 
@@ -835,6 +923,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--random", action="store_true", help="generate a random scenario from --seed"
     )
     p.add_argument(
+        "--catalogue",
+        default="",
+        metavar="NAME",
+        help="run a named adversarial-workload scenario (or 'all'): "
+        "flash crowds, hot-term storms, heterogeneous peers, regional "
+        "failures, free-riders, flaky responders, corpus turnover "
+        "(DESIGN.md §14)",
+    )
+    p.add_argument(
         "--events", type=int, default=500, help="events in a random scenario"
     )
     p.add_argument("--peers", type=int, default=24, help="ring size for the harness")
@@ -842,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-oracle",
         action="store_true",
         help="run only the scenario/invariant phase",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="with --catalogue: also print the per-scenario JSON records",
     )
     _add_store(p)
     p.set_defaults(handler=cmd_check)

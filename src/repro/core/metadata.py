@@ -374,6 +374,11 @@ class QueryResultCache:
         """Drop a stale entry; True if it existed."""
         return self._entries.pop(query_hash, None) is not None
 
+    def entries(self) -> List[Tuple[int, "CachedResult"]]:
+        """(query hash, entry) pairs in LRU order, without refreshing
+        recency — the invariant checker reads without perturbing."""
+        return list(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)
 

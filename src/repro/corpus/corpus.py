@@ -71,6 +71,25 @@ class Corpus:
         """All document ids, in insertion order."""
         return list(self._docs)
 
+    # -- turnover ----------------------------------------------------------
+
+    def replace(self, doc: Document) -> Document:
+        """Swap in an edited revision of an existing document.
+
+        The id must already be present (turnover edits documents, it
+        never grows the collection), insertion order is preserved, and
+        the cached global statistics are invalidated so
+        :attr:`document_frequency` et al. reflect the revision.  Returns
+        the document that was replaced.
+        """
+        if doc.doc_id not in self._docs:
+            raise DocumentNotFoundError(doc.doc_id)
+        previous = self._docs[doc.doc_id]
+        self._docs[doc.doc_id] = doc
+        self._doc_freq = None
+        self._coll_freq = None
+        return previous
+
     # -- global statistics ---------------------------------------------------
 
     def _build_stats(self) -> None:

@@ -21,13 +21,21 @@ def zipf_weights(n: int, exponent: float) -> List[float]:
 
     An *exponent* (the Zipf "slope") of 0 degenerates to uniform
     weights, matching how the paper's "w-zipf" stream with slope 0.5 is
-    a mildly skewed popularity distribution.
+    a mildly skewed popularity distribution.  Very large exponents make
+    ``rank ** exponent`` overflow the float range for tail ranks; those
+    weights underflow to 0.0 (head-only sampling) rather than raising.
     """
     if n < 1:
         raise ValueError("n must be >= 1")
     if exponent < 0:
         raise ValueError("exponent must be >= 0")
-    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+    weights = []
+    for rank in range(1, n + 1):
+        try:
+            weights.append(1.0 / (rank ** exponent))
+        except OverflowError:
+            weights.append(0.0)
+    return weights
 
 
 class CategoricalSampler:

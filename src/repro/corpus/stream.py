@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
+from .document import Document
 from .sampling import CategoricalSampler
 
 
@@ -70,3 +71,74 @@ def stream_synthetic_docs(
         )
         term_tfs = tuple((term, rng.randint(min_tf, max_tf)) for term in terms)
         yield StreamedDoc(doc_id=doc_id, length=length, term_tfs=term_tfs)
+
+
+# -- live corpus turnover ----------------------------------------------------
+#
+# Turnover scenarios (DESIGN.md §14) edit documents *mid-query-stream*
+# and re-share them, driving the batched unpublish/publish path while
+# queries are in flight.  Both helpers produce a revision under the same
+# id: :func:`revise_document` rewrites a materialized document's text,
+# :func:`stream_turnover` perturbs streamed rows without materializing.
+
+
+def revise_document(
+    doc: Document, rng: random.Random, edit_fraction: float = 0.3
+) -> Document:
+    """A deterministic edited revision of *doc* under the same id.
+
+    Roughly ``edit_fraction`` of the token count is edited: tokens are
+    deleted, duplicated elsewhere, or overwritten by other tokens of the
+    same document, so the revision's term distribution genuinely shifts
+    (different top-F index terms after re-share) while staying inside
+    the document's own vocabulary.
+    """
+    if not 0.0 < edit_fraction <= 1.0:
+        raise ValueError("edit_fraction must be in (0, 1]")
+    tokens = doc.text.split()
+    if not tokens:
+        return Document(doc.doc_id, doc.text, title=doc.title)
+    revised = list(tokens)
+    for __ in range(max(1, int(len(tokens) * edit_fraction))):
+        position = rng.randrange(len(revised))
+        action = rng.random()
+        if action < 0.45 and len(revised) > 1:
+            del revised[position]
+        elif action < 0.90:
+            revised.insert(position, rng.choice(tokens))
+        else:
+            revised[position] = rng.choice(tokens)
+    return Document(doc.doc_id, " ".join(revised), title=doc.title)
+
+
+def stream_turnover(
+    rng: random.Random,
+    docs: Iterable[StreamedDoc],
+    drop_term_probability: float = 0.2,
+    tf_jitter: int = 3,
+) -> Iterator[StreamedDoc]:
+    """Lazily revise a stream of :class:`StreamedDoc` rows.
+
+    Each revision keeps the doc id, drops terms with probability
+    *drop_term_probability* (never all of them), and jitters the
+    surviving raw tfs and the length by up to ``±tf_jitter`` — the
+    streamed-corpus counterpart of :func:`revise_document`, with the
+    same never-materialize contract as :func:`stream_synthetic_docs`.
+    """
+    if not 0.0 <= drop_term_probability < 1.0:
+        raise ValueError("drop_term_probability must be in [0, 1)")
+    if tf_jitter < 0:
+        raise ValueError("tf_jitter must be >= 0")
+    for doc in docs:
+        term_tfs: List[Tuple[str, int]] = []
+        for term, tf in doc.term_tfs:
+            if len(doc.term_tfs) > 1 and rng.random() < drop_term_probability:
+                continue
+            term_tfs.append((term, max(1, tf + rng.randint(-tf_jitter, tf_jitter))))
+        if not term_tfs:
+            first_term, first_tf = doc.term_tfs[0]
+            term_tfs = [(first_term, first_tf)]
+        length = max(1, doc.length + rng.randint(-tf_jitter, tf_jitter))
+        yield StreamedDoc(
+            doc_id=doc.doc_id, length=length, term_tfs=tuple(term_tfs)
+        )

@@ -22,7 +22,9 @@ from .metrics import (
     PrecisionRecall,
     RelativeResult,
     aggregate,
+    dcg,
     evaluate_rankings,
+    ndcg_against_reference,
     precision_recall_at,
     relative_to_centralized,
 )
@@ -42,11 +44,13 @@ __all__ = [
     "build_environment_from_collection",
     "build_esearch",
     "build_trained_sprite",
+    "dcg",
     "evaluate_rankings",
     "format_cost",
     "format_fig4a",
     "format_fig4b",
     "format_fig4c",
+    "ndcg_against_reference",
     "precision_recall_at",
     "relative_to_centralized",
     "run_cost_comparison",

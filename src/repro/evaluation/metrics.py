@@ -57,6 +57,43 @@ def precision_recall_at(
     )
 
 
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain of a gain vector in rank order:
+    ``Σ gain_i / log2(i + 1)`` with ranks starting at 1."""
+    from math import log2
+
+    return sum(gain / log2(i + 2) for i, gain in enumerate(gains))
+
+
+def ndcg_against_reference(
+    ranked: RankedList | Sequence[str],
+    reference: RankedList | Sequence[str],
+    k: int,
+) -> float:
+    """NDCG@k of a ranked list against a *reference ranking* (here: the
+    centralized TF-IDF oracle), not binary judgements.
+
+    The reference's top *k* defines graded relevance — its rank-1
+    document gains ``k``, rank-2 gains ``k-1``, … — so a system is
+    rewarded both for retrieving the oracle's documents and for keeping
+    them in the oracle's order.  The ideal DCG is the reference scored
+    against itself; an empty reference yields 0.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ref_ids = (
+        reference.top_ids(k)
+        if isinstance(reference, RankedList)
+        else list(reference)[:k]
+    )
+    if not ref_ids:
+        return 0.0
+    gains = {doc_id: float(len(ref_ids) - i) for i, doc_id in enumerate(ref_ids)}
+    top = ranked.top_ids(k) if isinstance(ranked, RankedList) else list(ranked)[:k]
+    ideal = dcg([gains[doc_id] for doc_id in ref_ids])
+    return dcg([gains.get(doc_id, 0.0) for doc_id in top]) / ideal
+
+
 @dataclass(frozen=True)
 class AggregateResult:
     """Mean precision/recall over a query set for one system."""

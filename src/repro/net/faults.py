@@ -12,7 +12,13 @@ on every transmission attempt.  Three independent fault classes compose:
 * **slow nodes** — a per-node latency multiplier; a sufficiently slow
   node pushes attempts past the delivery timeout, so degradation shows
   up as retries and timeouts rather than as a separate failure kind,
-  exactly as it does in deployed DHTs.
+  exactly as it does in deployed DHTs;
+* **flaky responders** — a per-node *extra* drop probability layered on
+  the global rate; attempts touching a flaky node are lost as if each
+  leg (global, source, destination) failed independently.  This is the
+  behaviour the BitTorrent-DHT measurement studies report as endemic:
+  peers that answer some fraction of requests and silently eat the
+  rest.
 
 All randomness comes from the RNG the transport passes in, so a seeded
 run replays identically.
@@ -33,6 +39,7 @@ class FaultInjector:
         self.drop_probability = drop_probability
         self._blackouts: Dict[int, List[Tuple[float, float]]] = {}
         self._slow: Dict[int, float] = {}
+        self._flaky: Dict[int, float] = {}
 
     # -- configuration -----------------------------------------------------
 
@@ -52,6 +59,17 @@ class FaultInjector:
         """Restore *node_id* to normal speed."""
         self._slow.pop(node_id, None)
 
+    def mark_flaky(self, node_id: int, drop_probability: float) -> None:
+        """Give *node_id* an extra per-attempt drop probability on every
+        message it sends or receives (a flaky responder)."""
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("flaky drop probability must be in [0, 1]")
+        self._flaky[node_id] = drop_probability
+
+    def clear_flaky(self, node_id: int) -> None:
+        """Restore *node_id* to the global loss rate only."""
+        self._flaky.pop(node_id, None)
+
     # -- queries (called per transmission attempt) -------------------------
 
     def in_blackout(self, node_id: int, now_ms: float) -> bool:
@@ -66,12 +84,39 @@ class FaultInjector:
         return self._slow.get(src, 1.0) * self._slow.get(dst, 1.0)
 
     def should_drop(self, rng: random.Random) -> bool:
-        """Decide the fate of one transmission attempt."""
+        """Decide the fate of one transmission attempt (global rate
+        only; the transport calls :meth:`should_drop_for`)."""
         if self.drop_probability <= 0.0:
             return False
         return rng.random() < self.drop_probability
+
+    def drop_probability_for(self, src: int, dst: int) -> float:
+        """Effective loss rate of one src→dst attempt: the global rate
+        and each endpoint's flaky rate composed as independent legs."""
+        survive = 1.0 - self.drop_probability
+        survive *= 1.0 - self._flaky.get(src, 0.0)
+        if dst != src:
+            survive *= 1.0 - self._flaky.get(dst, 0.0)
+        return 1.0 - survive
+
+    def should_drop_for(self, src: int, dst: int, rng: random.Random) -> bool:
+        """Decide the fate of one src→dst transmission attempt.
+
+        Consumes no randomness when the composed rate is zero, so runs
+        without loss or flaky peers replay byte-identically against the
+        pre-flaky transport.
+        """
+        probability = self.drop_probability_for(src, dst)
+        if probability <= 0.0:
+            return False
+        return rng.random() < probability
 
     @property
     def slow_nodes(self) -> Dict[int, float]:
         """Current per-node latency multipliers (copy)."""
         return dict(self._slow)
+
+    @property
+    def flaky_nodes(self) -> Dict[int, float]:
+        """Current per-node extra drop probabilities (copy)."""
+        return dict(self._flaky)

@@ -217,7 +217,7 @@ class LossyTransport:
                 elapsed += policy.timeout_ms
                 outcome = DeliveryOutcome.DROPPED
                 continue
-            if self.faults.should_drop(self.rng):
+            if self.faults.should_drop_for(message.src, message.dst, self.rng):
                 elapsed += policy.timeout_ms
                 outcome = DeliveryOutcome.DROPPED
                 continue

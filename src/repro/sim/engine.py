@@ -25,11 +25,19 @@ from ..config import ChordConfig, SpriteConfig, SyntheticCorpusConfig
 from ..core.maintenance import MaintenanceDaemon
 from ..core.system import DistributedSystem, SpriteSystem
 from ..corpus.relevance import Query
+from ..corpus.stream import revise_document
 from ..dht.replication import ReplicationManager
 from ..exceptions import NodeFailedError
 from ..store.recovery import RecoveryManager
+from .behaviors import BehaviorPlan, apply_behavior_spec
 from .events import Scenario, SimEvent
-from .invariants import InvariantChecker, InvariantReport, InvariantViolation
+from .invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    StormObservation,
+)
+from .quality import QualityProbe, QualityReadout
 
 
 @dataclass
@@ -47,6 +55,10 @@ class SimReport:
     violations: List[Tuple[int, SimEvent, InvariantViolation]] = field(
         default_factory=list
     )
+    #: Quality probes taken by ``measure`` events, in schedule order.
+    quality: List[QualityReadout] = field(default_factory=list)
+    #: One observation per concentrated-load (storm/flash-crowd) event.
+    storms: List[StormObservation] = field(default_factory=list)
 
     @property
     def events_applied(self) -> int:
@@ -71,6 +83,16 @@ class SimReport:
             "applied by kind: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.applied.items())),
         ]
+        for readout in self.quality:
+            lines.append(readout.summary())
+        if self.storms:
+            hits = sum(o.cache_hits for o in self.storms)
+            misses = sum(o.cache_misses for o in self.storms)
+            lines.append(
+                f"storms: {len(self.storms)} events, "
+                f"{sum(o.queries for o in self.storms)} requests, "
+                f"{hits} cache hits / {misses} misses"
+            )
         if self.violations:
             lines.append(f"VIOLATIONS: {len(self.violations)}")
             for step, event, violation in self.violations[:20]:
@@ -128,10 +150,18 @@ class ScenarioEngine:
             if self.store_runtime is not None
             else None
         )
+        #: One entry per storm/flash-crowd event, shared with the checker
+        #: (the load-concentration invariants read it like recovery_log).
+        self.stress_log: List[StormObservation] = []
         self.checker = InvariantChecker(
             system,
             recovery_log=self.recovery.log if self.recovery is not None else None,
+            stress_log=self.stress_log,
         )
+        #: Peer behaviors accumulated from ``behave`` events.
+        self.behaviors = BehaviorPlan()
+        #: Quality probes taken by ``measure`` events.
+        self.quality: List[QualityReadout] = []
         self.rng = random.Random(seed)
         self.tick_ms = tick_ms
         self.snapshot_interval = snapshot_interval
@@ -203,6 +233,8 @@ class ScenarioEngine:
                 report.violations.append((step, event, violation))
         report.degraded_operations = self._degraded
         report.final_quiescent = self.quiescent
+        report.quality = list(self.quality)
+        report.storms = list(self.stress_log)
         return report
 
     # -- handlers --------------------------------------------------------------
@@ -266,7 +298,14 @@ class ScenarioEngine:
         for __ in range(event.count):
             query = self.rng.choice(self.queries)
             try:
-                self.system.search(query)
+                # A free-riding issuer consumes the answer but refuses
+                # to register the query — no learning fuel contributed.
+                self.system.search(
+                    query,
+                    cache=not self.behaviors.is_free_rider(
+                        self.system._issuer_for(query)
+                    ),
+                )
             except NodeFailedError:
                 self._degraded += 1  # §7 degraded window: issuer gave up
         return True
@@ -292,7 +331,13 @@ class ScenarioEngine:
         return True
 
     def _apply_replicate(self, event: SimEvent) -> bool:
-        self.replication.replicate_round()
+        try:
+            self.replication.replicate_round()
+        except NodeFailedError:
+            # A flaky/lossy transport can drop a REPLICATE push even
+            # after retries; the round is best-effort and the next one
+            # re-ships, so count the degradation instead of crashing.
+            self._degraded += 1
         return True
 
     def _apply_recover(self, event: SimEvent) -> bool:
@@ -337,6 +382,164 @@ class ScenarioEngine:
         self._dirty = True
         return True
 
+    # -- adversarial catalogue (DESIGN.md §14) -----------------------------
+
+    def _run_concentrated_load(
+        self, event: SimEvent, pool: List[Query], kind: str
+    ) -> None:
+        """Shared storm/flash-crowd executor: fire ``event.count``
+        requests drawn from *pool* and record one
+        :class:`StormObservation` for the load-concentration
+        invariants."""
+        rcache = getattr(self.system.config, "result_cache_size", 0) > 0
+        hits = misses = postings = failures = max_single = 0
+        # A lossy transport silently eats cache probes/stores (they fail
+        # open), so the cache-effectiveness bound only binds when no
+        # message-loss mechanism is active.
+        faults = getattr(self.system.ring.transport, "faults", None)
+        lossy = faults is not None and (
+            faults.drop_probability > 0.0 or bool(faults.flaky_nodes)
+        )
+        disrupted = (
+            lossy or self._dirty or self.clock.now < self._blackout_until
+        )
+        for __ in range(event.count):
+            query = pool[0] if len(pool) == 1 else self.rng.choice(pool)
+            issuer = self.system._issuer_for(query)
+            try:
+                __, execution = self.system.execute(
+                    query, cache=not self.behaviors.is_free_rider(issuer)
+                )
+            except NodeFailedError:
+                self._degraded += 1
+                failures += 1
+                continue
+            if execution.cache_hit:
+                hits += 1
+            else:
+                misses += 1
+                postings += execution.postings_retrieved
+                max_single = max(max_single, execution.postings_retrieved)
+            if execution.terms_failed:
+                disrupted = True
+        self.stress_log.append(
+            StormObservation(
+                kind=kind,
+                queries=event.count,
+                distinct_queries=len({q.query_id for q in pool}),
+                cache_hits=hits,
+                cache_misses=misses,
+                postings_retrieved=postings,
+                max_single_postings=max_single,
+                failures=failures,
+                rcache_enabled=rcache,
+                disrupted=disrupted or failures > 0,
+            )
+        )
+
+    def _apply_storm(self, event: SimEvent) -> bool:
+        """Hot-term query storm: ``count`` repeats of one query hammer
+        its indexing peers and its result-home peer."""
+        if not self.queries:
+            return False
+        query = None
+        if event.name is not None:
+            query = next(
+                (q for q in self.queries if q.query_id == event.name), None
+            )
+        if query is None:
+            query = self.rng.choice(self.queries)
+        self._run_concentrated_load(event, [query], kind="storm")
+        return True
+
+    def _apply_flash_crowd(self, event: SimEvent) -> bool:
+        """Flash crowd: ``count`` queries concentrated on one topic —
+        the anchor query plus every pool query sharing a term with it."""
+        if not self.queries:
+            return False
+        anchor = self.rng.choice(self.queries)
+        anchor_terms = set(anchor.terms)
+        pool = [q for q in self.queries if anchor_terms & set(q.terms)]
+        self._run_concentrated_load(event, pool or [anchor], kind="flash_crowd")
+        return True
+
+    def _apply_region_fail(self, event: SimEvent) -> bool:
+        """Correlated regional failure: crash-stop ``count`` peers that
+        are *contiguous* on the ring, all at once — the case successor
+        lists exist for, and the one uncorrelated churn never hits."""
+        ring = self.system.ring
+        live = list(ring.live_ids)
+        count = min(event.count, len(live) - 3)
+        if count < 1:
+            return False
+        start = self.rng.randrange(len(live))
+        for offset in range(count):
+            ring.fail(live[(start + offset) % len(live)])
+        self._dirty = True
+        return True
+
+    def _apply_turnover(self, event: SimEvent) -> bool:
+        """Live corpus turnover: edit ``count`` currently shared
+        documents and re-share the revisions mid-stream, driving the
+        batched unpublish/publish path and bumping slot versions under
+        any cached results."""
+        shared = sorted(self.system._doc_owner)
+        if not shared:
+            return False
+        chosen = self.rng.sample(shared, min(event.count, len(shared)))
+        revised = [
+            revise_document(self.system.corpus.get(doc_id), self.rng)
+            for doc_id in chosen
+        ]
+        try:
+            self.system.bulk_unshare(chosen)
+        except NodeFailedError:
+            self._degraded += 1
+        for doc in revised:
+            self.system.corpus.replace(doc)
+        to_share = [
+            doc for doc in revised if doc.doc_id not in self.system._doc_owner
+        ]
+        try:
+            if to_share:
+                self.system.bulk_share(to_share)
+        except NodeFailedError:
+            self._degraded += 1
+        # Revisions stranded by a mid-damage failure stay available to
+        # later publish events instead of silently vanishing.
+        stranded = {
+            doc.doc_id for doc in revised
+        } - set(self.system._doc_owner)
+        known = {doc.doc_id for doc in self._unshared}
+        for doc in revised:
+            if doc.doc_id in stranded and doc.doc_id not in known:
+                self._unshared.append(doc)
+        return True
+
+    def _apply_behave(self, event: SimEvent) -> bool:
+        """Apply a peer-behavior spec (``classes:E`` / ``freeride:F`` /
+        ``flaky:F:P``) to the current live population."""
+        faults = getattr(self.system.ring.transport, "faults", None)
+        assert event.name is not None  # enforced by SimEvent validation
+        return apply_behavior_spec(
+            self.behaviors,
+            event.name,
+            list(self.system.ring.live_ids),
+            self.rng,
+            faults,
+        )
+
+    def _apply_measure(self, event: SimEvent) -> bool:
+        """Take a quality readout against the centralized oracle; the
+        event name labels the probe ("during"/"after" by convention)."""
+        if not self.queries:
+            return False
+        label = event.name or ("after" if self.quiescent else "during")
+        self.quality.append(
+            QualityProbe(self.system, self.queries).measure(label)
+        )
+        return True
+
     def _apply_maintain(self, event: SimEvent) -> bool:
         report = self.maintenance.run_round()
         if (
@@ -360,6 +563,7 @@ def build_simulation(
     store_dir: str = "",
     snapshot_dir: str = "",
     snapshot_interval: int = 0,
+    result_cache_size: int = 0,
 ) -> ScenarioEngine:
     """A ready-to-run micro simulation for the CLI and the fuzzers.
 
@@ -370,6 +574,9 @@ def build_simulation(
     parameters thread straight into :class:`~repro.config.SpriteConfig`;
     with the default memory backend the durable-store events
     (``snapshot``/``crash_disk``/``recover_disk``) are skipped.
+    ``result_cache_size`` switches on the version-invalidated query
+    -result cache the hot-term-storm scenarios hammer (0, the historical
+    default, leaves it off).
     """
     from ..corpus.synthetic import SyntheticTrecCorpus
 
@@ -395,6 +602,7 @@ def build_simulation(
             query_cache_size=100,
             assumed_corpus_size=1000,
             top_k_answers=10,
+            result_cache_size=result_cache_size,
             store_backend=store_backend,
             store_dir=store_dir,
             snapshot_dir=snapshot_dir,

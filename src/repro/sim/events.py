@@ -2,9 +2,11 @@
 
 A scenario is a seed plus an ordered list of :class:`SimEvent`s —
 membership churn (``join``, ``leave``, ``crash``), network faults
-(``blackout``), workload (``publish``, ``query``, ``learn``), and
-protocol maintenance (``stabilize``, ``replicate``, ``recover``,
-``maintain``).  The :class:`~repro.sim.engine.ScenarioEngine` executes a
+(``blackout``), workload (``publish``, ``query``, ``learn``), protocol
+maintenance (``stabilize``, ``replicate``, ``recover``, ``maintain``),
+and the adversarial catalogue's stress events (``flash_crowd``,
+``storm``, ``region_fail``, ``turnover``, ``behave``, ``measure`` —
+DESIGN.md §14).  The :class:`~repro.sim.engine.ScenarioEngine` executes a
 scenario deterministically against a running system, checking invariants
 between events, so a failing schedule is a *reproducible artifact*: it
 can be saved to JSON, attached to a bug report, and replayed as a
@@ -40,6 +42,13 @@ EVENT_KINDS: Tuple[str, ...] = (
     "snapshot",    # checkpoint every slot-holding peer's disk store
     "crash_disk",  # crash-stop a peer whose disk (snapshots) survives
     "recover_disk",  # rejoin the crashed peer: snapshot reload + delta sync
+    # -- adversarial catalogue (DESIGN.md §14) -----------------------------
+    "flash_crowd",  # `count` queries concentrated on one topic's hot pool
+    "storm",       # `count` repeats of ONE query (name pins the query id)
+    "region_fail",  # crash-stop `count` *contiguous* live peers at once
+    "turnover",    # edit + re-share `count` shared docs (batched republish)
+    "behave",      # apply a behavior spec (name: classes:E/freeride:F/flaky:F:P)
+    "measure",     # quality probe vs the centralized oracle (name = label)
 )
 
 #: Events that repair damage; random scenarios append these after
@@ -68,6 +77,8 @@ class SimEvent:
             raise ValueError("count must be >= 1")
         if self.duration_ms < 0:
             raise ValueError("duration_ms must be >= 0")
+        if self.kind == "behave" and not self.name:
+            raise ValueError("behave events need a spec in `name`")
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {"kind": self.kind}

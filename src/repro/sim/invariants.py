@@ -23,10 +23,38 @@ so checking generates no simulated traffic and perturbs nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import sqrt
 from typing import Dict, List, Tuple
 
 from ..core.metadata import TermSlot
 from ..core.system import DistributedSystem
+from ..ir.ranking import RankedList
+
+
+@dataclass(frozen=True)
+class StormObservation:
+    """What the engine measured during one concentrated-load event
+    (``storm`` or ``flash_crowd``) — the input of the always-tier
+    load-concentration invariants, shared with the checker the way the
+    recovery log is.
+
+    ``disrupted`` marks observations taken while damage could plausibly
+    defeat the result cache (active blackout, un-healed crash, failed
+    terms, degraded queries): the cache-effectiveness bounds are claims
+    about the *undisturbed* cache, so disrupted observations are exempt.
+    """
+
+    kind: str
+    queries: int
+    distinct_queries: int
+    cache_hits: int
+    cache_misses: int
+    postings_retrieved: int
+    #: Largest single-query postings fetch seen in the event.
+    max_single_postings: int
+    failures: int
+    rcache_enabled: bool
+    disrupted: bool
 
 
 @dataclass(frozen=True)
@@ -62,18 +90,33 @@ class InvariantChecker:
         ("primary_placement", False),
         ("query_cache_bounds", False),
         ("resync_traffic_bounded", False),
+        ("slot_version_monotone", False),
+        ("storm_cache_effective", False),
+        ("hot_load_bounded", False),
         ("topology_matches_oracle", True),
         ("term_resolvability", True),
         ("owner_agreement", True),
         ("posting_conservation", True),
+        ("result_cache_coherent", True),
     )
 
-    def __init__(self, system: DistributedSystem, recovery_log=None) -> None:
+    def __init__(
+        self, system: DistributedSystem, recovery_log=None, stress_log=None
+    ) -> None:
         self.system = system
         #: Shared list of :class:`~repro.store.recovery.RecoveryReport`s
         #: (the engine passes its RecoveryManager's log); ``None`` or
         #: empty makes ``resync_traffic_bounded`` vacuous.
         self.recovery_log = recovery_log
+        #: Shared list of :class:`StormObservation`s (the engine appends
+        #: one per storm/flash-crowd event); ``None`` or empty makes the
+        #: load-concentration invariants vacuous.
+        self.stress_log = stress_log
+        #: (node id, store key) → last seen slot version, for the
+        #: monotonicity check.  Keys vanish (and reset) when the slot
+        #: leaves that node — migration and replica promotion legally
+        #: restart a slot's version history at its new home.
+        self._version_watermarks: Dict[Tuple[int, int], int] = {}
 
     def check(self, quiescent: bool) -> InvariantReport:
         """Run the always-tier, plus the quiescent tier when the engine
@@ -174,6 +217,68 @@ class InvariantChecker:
                     f"recovery #{index} (peer {recovery.peer}): all "
                     f"{recovery.slots_matched} slots matched the snapshot "
                     f"but {recovery.postings_shipped} postings shipped",
+                )
+
+    def _check_slot_version_monotone(self, report: InvariantReport) -> None:
+        """A primary slot's content version never decreases while the
+        slot stays at one node — the property result-cache validation
+        rests on (a republish must look *newer*, never recycled).  The
+        watermark resets when a slot changes homes: migration, replica
+        promotion, and snapshot-reload recovery all legally restart
+        history at the new (node, key) pair."""
+        ring = self.system.ring
+        current: Dict[Tuple[int, int], int] = {}
+        for node_id in ring.live_ids:
+            for key, slot in ring.node(node_id).store.items():
+                if not isinstance(slot, TermSlot):
+                    continue
+                version = slot.version
+                current[(node_id, key)] = version
+                watermark = self._version_watermarks.get((node_id, key))
+                if watermark is not None and version < watermark:
+                    self._fail(
+                        report,
+                        "slot_version_monotone",
+                        f"slot {slot.term!r} at node {node_id}: version "
+                        f"regressed {watermark} -> {version}",
+                    )
+        self._version_watermarks = current
+
+    def _check_storm_cache_effective(self, report: InvariantReport) -> None:
+        """During an undisturbed concentrated-load event with the result
+        cache on, only the *first* occurrence of each distinct query may
+        miss — repeats are served from the query's result-home peer.
+        Vacuous for observations taken mid-damage (``disrupted``) or
+        with caching off."""
+        for index, obs in enumerate(self.stress_log or ()):
+            if not obs.rcache_enabled or obs.disrupted:
+                continue
+            if obs.cache_misses > obs.distinct_queries:
+                self._fail(
+                    report,
+                    "storm_cache_effective",
+                    f"storm #{index} ({obs.kind}): {obs.cache_misses} misses "
+                    f"for {obs.distinct_queries} distinct queries over "
+                    f"{obs.queries} requests",
+                )
+
+    def _check_hot_load_bounded(self, report: InvariantReport) -> None:
+        """Load concentration at the hot indexing peer is bounded: the
+        postings fetched during an undisturbed cached storm never exceed
+        one full scoring pass per *distinct* query — repeat requests add
+        zero scoring work, whatever the storm's length."""
+        for index, obs in enumerate(self.stress_log or ()):
+            if not obs.rcache_enabled or obs.disrupted:
+                continue
+            bound = obs.distinct_queries * obs.max_single_postings
+            if obs.postings_retrieved > bound:
+                self._fail(
+                    report,
+                    "hot_load_bounded",
+                    f"storm #{index} ({obs.kind}): {obs.postings_retrieved} "
+                    f"postings fetched, bound is {bound} "
+                    f"({obs.distinct_queries} distinct × "
+                    f"{obs.max_single_postings} max single fetch)",
                 )
 
     # -- quiescent tier -----------------------------------------------------
@@ -304,3 +409,79 @@ class InvariantChecker:
                     f"posting ({doc_id!r}, {term!r}) held {copies} times "
                     f"across live primaries (expected exactly 1)",
                 )
+
+    def _current_slot(self, term: str):
+        """The term's primary slot under the live-membership oracle (or
+        ``None``), read without generating traffic."""
+        ring = self.system.ring
+        key = self.system.protocol.term_hash(term)
+        slot = ring.node(ring.successor_of(key)).store.get(key)
+        return slot if isinstance(slot, TermSlot) else None
+
+    def _check_result_cache_coherent(self, report: InvariantReport) -> None:
+        """At quiescence, every result-cache entry that would still be
+        *served* (its recorded slot versions match the current slots,
+        no failed terms) equals a fresh exhaustive scoring of today's
+        index — after turnover re-publishes and the heal suffix, no
+        servable cached answer is stale.
+
+        The recompute mirrors the query processor's exhaustive phase-B
+        scan (same term order, same float summation order), so
+        agreement is exact, not approximate.
+        """
+        ring = self.system.ring
+        weighting = self.system.processor.weighting
+        for node_id, cache in self.system.protocol._result_caches.items():
+            if not ring.is_live(node_id):
+                continue
+            for __, entry in cache.entries():
+                if entry.failed_terms:
+                    continue  # only served to identically degraded queries
+                current_versions = {
+                    term: (
+                        slot.version
+                        if (slot := self._current_slot(term)) is not None
+                        else 0
+                    )
+                    for term in entry.terms
+                }
+                if current_versions != entry.slot_versions:
+                    continue  # stale-but-inert: the next probe drops it
+                dot: Dict[str, float] = {}
+                lengths: Dict[str, int] = {}
+                scored: set = set()
+                for term in entry.terms:
+                    if term in scored:
+                        continue
+                    slot = self._current_slot(term)
+                    if slot is None:
+                        continue
+                    df = slot.indexed_document_frequency
+                    if df <= 0:
+                        continue
+                    scored.add(term)
+                    qw = weighting.query_weight(df)
+                    for posting in slot.entries():
+                        contribution = qw * weighting.document_weight(
+                            posting.normalized_tf, df
+                        )
+                        acc = dot.get(posting.doc_id)
+                        dot[posting.doc_id] = (
+                            contribution if acc is None else acc + contribution
+                        )
+                        lengths[posting.doc_id] = posting.doc_length
+                scores = {
+                    doc_id: (value / sqrt(lengths[doc_id]) if lengths[doc_id] else 0.0)
+                    for doc_id, value in dot.items()
+                }
+                expected = RankedList.top_k(scores, entry.top_k)
+                got = [(s.doc_id, s.score) for s in entry.ranked]
+                want = [(s.doc_id, s.score) for s in expected]
+                if got != want:
+                    self._fail(
+                        report,
+                        "result_cache_coherent",
+                        f"cached result for {entry.terms!r} at node "
+                        f"{node_id} is servable but stale: cached "
+                        f"{got[:3]}… != fresh {want[:3]}…",
+                    )

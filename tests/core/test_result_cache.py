@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import ChordConfig
 from repro.core.indexer import IndexingProtocol
@@ -244,3 +246,80 @@ class TestHashMemoization:
     def test_no_private_hash_cache_remains(self) -> None:
         ring, protocol, __ = build_stack()
         assert not hasattr(protocol, "_hash_cache")
+
+
+class TestFreshnessProperty:
+    """Hypothesis property (ISSUE 8 satellite): the result cache never
+    serves a response whose recorded slot versions predate an
+    interleaved publish/unpublish to one of the query's terms.
+
+    The model is deliberately simple: with a perfect transport and no
+    churn, a repeat query must HIT exactly when nothing touched its
+    terms since the last full execution, must MISS (and recompute)
+    after any interleaved mutation of a query term, and every served
+    ranking — cached or not — must equal a from-scratch uncached
+    execution of the same query.  Mutations to *unrelated* terms must
+    not shake the entry loose.
+    """
+
+    OPS = st.lists(
+        st.tuples(
+            st.sampled_from(["query", "publish", "unpublish", "decoy"]),
+            st.integers(min_value=0, max_value=1),  # query-term index
+            st.integers(min_value=0, max_value=4),  # doc-id salt
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_no_stale_serve_under_interleaved_writes(
+        self, ops, seed: int
+    ) -> None:
+        ring, protocol, processor = build_stack(seed=seed)
+        rng = random.Random(seed)
+        query_terms = (VOCAB[0], VOCAB[1])
+        issuer = ring.live_ids[0]
+
+        published: dict = {term: set() for term in VOCAB}
+        executed_once = False
+        dirty = False  # a query term mutated since the last execution
+
+        for op, term_idx, salt in ops:
+            term = query_terms[term_idx]
+            doc_id = f"prop{salt}"
+            if op == "publish":
+                owner = ring.random_live_id(rng)
+                protocol.publish(
+                    owner,
+                    term,
+                    PostingEntry(doc_id, owner, 1 + salt, 40 + 7 * salt),
+                )
+                published[term].add(doc_id)
+                dirty = True
+            elif op == "unpublish":
+                removed = protocol.unpublish(issuer, term, doc_id)
+                assert removed == (doc_id in published[term])
+                if removed:
+                    published[term].discard(doc_id)
+                    dirty = True
+            elif op == "decoy":
+                # Same write, unrelated term: must not invalidate.
+                owner = ring.random_live_id(rng)
+                protocol.publish(
+                    owner,
+                    VOCAB[-1],
+                    PostingEntry(doc_id, owner, 1 + salt, 40 + 7 * salt),
+                )
+            else:
+                ranked, execution = execute(ring, processor, query_terms)
+                assert execution.cache_hit == (executed_once and not dirty)
+                fresh, __ = execute(
+                    ring, processor, query_terms, cache=False
+                )
+                assert [(e.doc_id, e.score) for e in ranked] == [
+                    (e.doc_id, e.score) for e in fresh
+                ]
+                executed_once = True
+                dirty = False

@@ -99,3 +99,26 @@ class TestDistribution:
         )
         assert c.distribution("spread") == 2 * 2
         assert c.distribution("burst") == 2 * 1
+
+
+class TestReplace:
+    def test_swaps_revision_and_returns_previous(self, corpus: Corpus) -> None:
+        previous = corpus.replace(Document("d2", "epsilon epsilon"))
+        assert previous.text == "alpha gamma gamma gamma"
+        assert corpus.get("d2").text == "epsilon epsilon"
+        assert len(corpus) == 3
+
+    def test_preserves_insertion_order(self, corpus: Corpus) -> None:
+        corpus.replace(Document("d1", "zeta"))
+        assert corpus.doc_ids == ["d1", "d2", "d3"]
+
+    def test_invalidates_global_statistics(self, corpus: Corpus) -> None:
+        assert corpus.document_frequency["alpha"] == 2
+        corpus.replace(Document("d2", "epsilon"))
+        assert corpus.document_frequency["alpha"] == 1
+        assert corpus.document_frequency["epsilon"] == 1
+        assert corpus.collection_frequency["gamma"] == 0
+
+    def test_unknown_id_rejected(self, corpus: Corpus) -> None:
+        with pytest.raises(DocumentNotFoundError):
+            corpus.replace(Document("d9", "nope"))

@@ -155,3 +155,43 @@ def test_samples_always_from_items(weights: list, seed: int) -> None:
     rng = random.Random(seed)
     for __ in range(20):
         assert sampler.sample(rng) in items
+
+
+class TestSampleManyExtremeSkew:
+    """Edge-of-the-distribution cases for the bulk sampler: the merge
+    walk must keep its bulk-vs-loop identity (values *and* RNG state)
+    when the Zipf weights degenerate to near-uniform, to a single
+    effective category (underflow), or to a single real category."""
+
+    def _assert_bulk_loop_identity(self, sampler, count: int = 173) -> None:
+        for seed in (0, 7, 20070415):
+            bulk_rng, loop_rng = random.Random(seed), random.Random(seed)
+            bulk = sampler.sample_many(bulk_rng, count)
+            loop = [sampler.sample(loop_rng) for __ in range(count)]
+            assert bulk == loop
+            assert bulk_rng.getstate() == loop_rng.getstate()
+
+    def test_alpha_near_zero_is_near_uniform(self) -> None:
+        items = [f"t{i}" for i in range(50)]
+        sampler = CategoricalSampler(items, zipf_weights(50, 1e-9))
+        self._assert_bulk_loop_identity(sampler)
+        counts = Counter(sampler.sample_many(random.Random(5), 5000))
+        assert len(counts) == 50  # nothing starved at uniformity
+
+    def test_alpha_huge_underflows_to_head_only(self) -> None:
+        # rank^200 overflows the float range deep in the tail (those
+        # weights collapse to exactly 0.0) and the near-head weights are
+        # so small they vanish inside the cumulative sum — the
+        # degenerate tail must neither raise nor desync the RNG, and
+        # every draw lands on the head item.
+        weights = zipf_weights(40, 200.0)
+        assert weights[-1] == 0.0
+        assert 0.0 < weights[1] < 1e-16
+        sampler = CategoricalSampler([f"t{i}" for i in range(40)], weights)
+        self._assert_bulk_loop_identity(sampler)
+        assert set(sampler.sample_many(random.Random(11), 300)) == {"t0"}
+
+    def test_single_category(self) -> None:
+        sampler = CategoricalSampler(["only"], [3.5])
+        self._assert_bulk_loop_identity(sampler)
+        assert sampler.sample_many(random.Random(2), 9) == ["only"] * 9

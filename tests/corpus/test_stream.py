@@ -95,3 +95,81 @@ class TestValidation:
             next(_stream(min_doc_length=100, max_doc_length=90))
         with pytest.raises(ValueError):
             next(_stream(min_doc_length=0))
+
+
+class TestTurnover:
+    def _revised(self, seed: int = 4, **kwargs):
+        from repro.corpus.stream import stream_turnover
+
+        docs = list(_stream(seed=9))
+        return list(stream_turnover(random.Random(seed), docs, **kwargs))
+
+    def test_keeps_ids_and_order(self) -> None:
+        originals = list(_stream(seed=9))
+        revised = self._revised()
+        assert [d.doc_id for d in revised] == [d.doc_id for d in originals]
+
+    def test_deterministic_for_a_seed(self) -> None:
+        assert self._revised(seed=4) == self._revised(seed=4)
+        assert self._revised(seed=4) != self._revised(seed=5)
+
+    def test_actually_edits_the_stream(self) -> None:
+        originals = list(_stream(seed=9))
+        revised = self._revised()
+        assert any(a != b for a, b in zip(originals, revised))
+
+    def test_never_drops_every_term(self) -> None:
+        revised = self._revised(drop_term_probability=0.95)
+        assert all(d.term_tfs for d in revised)
+        assert all(tf >= 1 for d in revised for __, tf in d.term_tfs)
+        assert all(d.length >= 1 for d in revised)
+
+    def test_validation(self) -> None:
+        from repro.corpus.stream import stream_turnover
+
+        with pytest.raises(ValueError):
+            list(stream_turnover(random.Random(0), [], drop_term_probability=1.0))
+        with pytest.raises(ValueError):
+            list(stream_turnover(random.Random(0), [], tf_jitter=-1))
+
+
+class TestReviseDocument:
+    def _doc(self):
+        from repro.corpus import Document
+
+        return Document("doc", "alpha beta gamma delta " * 10, title="t")
+
+    def test_same_id_new_text(self) -> None:
+        from repro.corpus.stream import revise_document
+
+        doc = self._doc()
+        revised = revise_document(doc, random.Random(1))
+        assert revised.doc_id == doc.doc_id
+        assert revised.title == doc.title
+        assert revised.text != doc.text
+        # edits stay inside the document's own vocabulary
+        assert set(revised.text.split()) <= set(doc.text.split())
+
+    def test_deterministic_for_a_seed(self) -> None:
+        from repro.corpus.stream import revise_document
+
+        doc = self._doc()
+        first = revise_document(doc, random.Random(3))
+        second = revise_document(doc, random.Random(3))
+        assert first.text == second.text
+
+    def test_empty_document_passes_through(self) -> None:
+        from repro.corpus import Document
+        from repro.corpus.stream import revise_document
+
+        revised = revise_document(Document("e", ""), random.Random(0))
+        assert revised.doc_id == "e"
+        assert revised.text == ""
+
+    def test_edit_fraction_validated(self) -> None:
+        from repro.corpus.stream import revise_document
+
+        with pytest.raises(ValueError):
+            revise_document(self._doc(), random.Random(0), edit_fraction=0.0)
+        with pytest.raises(ValueError):
+            revise_document(self._doc(), random.Random(0), edit_fraction=1.5)

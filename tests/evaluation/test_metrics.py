@@ -10,7 +10,9 @@ from repro.corpus import Qrels
 from repro.evaluation.metrics import (
     AggregateResult,
     aggregate,
+    dcg,
     evaluate_rankings,
+    ndcg_against_reference,
     precision_recall_at,
     relative_to_centralized,
 )
@@ -126,3 +128,58 @@ def test_precision_recall_bounds(doc_ids: list, relevant: set, k: int) -> None:
     assert 0.0 <= pr.precision <= 1.0
     assert 0.0 <= pr.recall <= 1.0
     assert pr.hits <= min(k, len(relevant))
+
+
+class TestDcg:
+    def test_rank_discount(self) -> None:
+        from math import log2
+
+        assert dcg([3.0, 2.0, 1.0]) == pytest.approx(
+            3.0 + 2.0 / log2(3) + 1.0 / log2(4)
+        )
+
+    def test_empty_gains(self) -> None:
+        assert dcg([]) == 0.0
+
+
+class TestNdcgAgainstReference:
+    def test_perfect_agreement_is_one(self) -> None:
+        assert ndcg_against_reference(
+            ranked("a", "b", "c"), ranked("a", "b", "c"), k=3
+        ) == pytest.approx(1.0)
+
+    def test_reversed_order_hand_computed(self) -> None:
+        from math import log2
+
+        # Reference [a,b,c] at k=3 grades a=3, b=2, c=1; the reversed
+        # system ranking earns 1, 2, 3 at discounts 1, log2(3), 2.
+        got = ndcg_against_reference(
+            ranked("c", "b", "a"), ranked("a", "b", "c"), k=3
+        )
+        ideal = 3.0 + 2.0 / log2(3) + 1.0 / 2.0
+        assert got == pytest.approx((1.0 + 2.0 / log2(3) + 3.0 / 2.0) / ideal)
+
+    def test_disjoint_rankings_score_zero(self) -> None:
+        assert ndcg_against_reference(
+            ranked("x", "y"), ranked("a", "b"), k=2
+        ) == 0.0
+
+    def test_missing_tail_scores_below_one(self) -> None:
+        partial = ndcg_against_reference(ranked("a"), ranked("a", "b"), k=2)
+        assert 0.0 < partial < 1.0
+
+    def test_empty_reference_is_zero(self) -> None:
+        assert ndcg_against_reference(ranked("a"), ranked(), k=5) == 0.0
+
+    def test_accepts_plain_sequences(self) -> None:
+        assert ndcg_against_reference(["a", "b"], ["a", "b"], k=2) == 1.0
+
+    def test_k_must_be_positive(self) -> None:
+        with pytest.raises(ValueError):
+            ndcg_against_reference(ranked("a"), ranked("a"), k=0)
+
+    def test_k_truncates_both_sides(self) -> None:
+        # Beyond-k disagreement is invisible at k=1.
+        assert ndcg_against_reference(
+            ranked("a", "x", "y"), ranked("a", "b", "c"), k=1
+        ) == pytest.approx(1.0)

@@ -89,3 +89,62 @@ class TestSlowNodes:
     def test_speedup_factor_rejected(self) -> None:
         with pytest.raises(ValueError):
             FaultInjector().mark_slow(1, 0.5)
+
+
+class TestFlakyNodes:
+    def test_composed_rate_multiplies_survival_legs(self) -> None:
+        faults = FaultInjector(drop_probability=0.1)
+        faults.mark_flaky(1, 0.2)
+        faults.mark_flaky(2, 0.5)
+        expected = 1.0 - (1.0 - 0.1) * (1.0 - 0.2) * (1.0 - 0.5)
+        assert faults.drop_probability_for(1, 2) == pytest.approx(expected)
+        # only the src leg when the dst is clean
+        assert faults.drop_probability_for(1, 3) == pytest.approx(
+            1.0 - 0.9 * 0.8
+        )
+
+    def test_self_send_counts_the_flaky_leg_once(self) -> None:
+        faults = FaultInjector()
+        faults.mark_flaky(1, 0.25)
+        assert faults.drop_probability_for(1, 1) == pytest.approx(0.25)
+
+    def test_zero_rate_consumes_no_randomness(self) -> None:
+        faults = FaultInjector()
+        faults.mark_flaky(9, 0.5)
+        rng = random.Random(0)
+        state = rng.getstate()
+        # neither endpoint is flaky and the global rate is zero
+        assert not faults.should_drop_for(1, 2, rng)
+        assert rng.getstate() == state
+        # a flaky endpoint does consume randomness
+        faults.should_drop_for(1, 9, rng)
+        assert rng.getstate() != state
+
+    def test_certain_loss_always_drops(self) -> None:
+        faults = FaultInjector()
+        faults.mark_flaky(5, 1.0)
+        rng = random.Random(3)
+        assert all(faults.should_drop_for(5, 6, rng) for __ in range(50))
+
+    def test_clear_flaky_restores_the_global_rate(self) -> None:
+        faults = FaultInjector()
+        faults.mark_flaky(4, 0.3)
+        assert faults.flaky_nodes == {4: 0.3}
+        faults.clear_flaky(4)
+        assert faults.flaky_nodes == {}
+        assert faults.drop_probability_for(4, 5) == 0.0
+        faults.clear_flaky(4)  # idempotent on unknown nodes
+
+    def test_probability_validated(self) -> None:
+        faults = FaultInjector()
+        with pytest.raises(ValueError):
+            faults.mark_flaky(1, -0.1)
+        with pytest.raises(ValueError):
+            faults.mark_flaky(1, 1.1)
+
+    def test_flaky_nodes_property_returns_a_copy(self) -> None:
+        faults = FaultInjector()
+        faults.mark_flaky(1, 0.2)
+        snapshot = faults.flaky_nodes
+        snapshot[1] = 0.9
+        assert faults.flaky_nodes == {1: 0.2}

@@ -1,0 +1,165 @@
+"""Peer behavior plans: capacity classes, free-riders, flaky peers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import FaultInjector
+from repro.sim import (
+    PEER_CLASSES,
+    BehaviorPlan,
+    PeerClass,
+    apply_behavior_spec,
+    assign_peer_classes,
+    parse_behavior_spec,
+)
+from repro.sim.behaviors import choose_fraction
+
+NODE_IDS = list(range(100, 160))
+
+
+class TestPeerClass:
+    def test_defaults_are_the_identity_class(self) -> None:
+        cls = PeerClass("plain")
+        assert cls.latency_factor == 1.0
+        assert cls.drop_probability == 0.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            PeerClass("bad", latency_factor=0.5)
+        with pytest.raises(ValueError):
+            PeerClass("bad", drop_probability=1.5)
+
+    def test_default_population_is_rank_ordered_by_capacity(self) -> None:
+        factors = [cls.latency_factor for cls in PEER_CLASSES]
+        assert factors == sorted(factors)
+
+
+class TestAssignPeerClasses:
+    def test_every_peer_gets_a_class(self) -> None:
+        assignment = assign_peer_classes(NODE_IDS, random.Random(0))
+        assert sorted(assignment) == NODE_IDS
+        names = {cls.name for cls in PEER_CLASSES}
+        assert set(assignment.values()) <= names
+
+    def test_zipf_skew_concentrates_in_the_head_class(self) -> None:
+        assignment = assign_peer_classes(
+            NODE_IDS, random.Random(3), exponent=2.0
+        )
+        counts = {name: 0 for name in ("backbone", "broadband", "mobile")}
+        for name in assignment.values():
+            counts[name] += 1
+        assert counts["backbone"] > counts["broadband"] >= counts["mobile"]
+
+    def test_deterministic_for_a_seed(self) -> None:
+        a = assign_peer_classes(NODE_IDS, random.Random(7))
+        b = assign_peer_classes(NODE_IDS, random.Random(7))
+        assert a == b
+
+    def test_wires_slow_and_flaky_into_the_fault_injector(self) -> None:
+        faults = FaultInjector()
+        assignment = assign_peer_classes(
+            NODE_IDS, random.Random(1), exponent=0.0, faults=faults
+        )
+        for node_id, name in assignment.items():
+            cls = {c.name: c for c in PEER_CLASSES}[name]
+            if cls.latency_factor > 1.0:
+                assert faults.slow_nodes[node_id] == cls.latency_factor
+            if cls.drop_probability > 0.0:
+                assert faults.flaky_nodes[node_id] == cls.drop_probability
+
+    def test_empty_class_list_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            assign_peer_classes(NODE_IDS, random.Random(0), classes=())
+
+
+class TestChooseFraction:
+    def test_rounded_count_and_sorted_output(self) -> None:
+        chosen = choose_fraction(NODE_IDS, random.Random(0), 0.25)
+        assert len(chosen) == round(len(NODE_IDS) * 0.25)
+        assert chosen == sorted(chosen)
+        assert set(chosen) <= set(NODE_IDS)
+
+    def test_extremes(self) -> None:
+        assert choose_fraction(NODE_IDS, random.Random(0), 0.0) == []
+        assert choose_fraction(NODE_IDS, random.Random(0), 1.0) == NODE_IDS
+
+    def test_invalid_fraction(self) -> None:
+        with pytest.raises(ValueError):
+            choose_fraction(NODE_IDS, random.Random(0), 1.1)
+
+
+class TestParseBehaviorSpec:
+    def test_the_three_kinds(self) -> None:
+        assert parse_behavior_spec("classes:1.2") == ("classes", (1.2,))
+        assert parse_behavior_spec("freeride:0.4") == ("freeride", (0.4,))
+        assert parse_behavior_spec("flaky:0.35:0.2") == ("flaky", (0.35, 0.2))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "sabotage:1", "classes", "classes:1:2", "flaky:0.5", "flaky:x:y"],
+    )
+    def test_malformed_specs_fail_loudly(self, bad: str) -> None:
+        with pytest.raises(ValueError):
+            parse_behavior_spec(bad)
+
+
+class TestApplyBehaviorSpec:
+    def test_freeride_works_without_fault_injection(self) -> None:
+        plan = BehaviorPlan()
+        ok = apply_behavior_spec(
+            plan, "freeride:0.5", NODE_IDS, random.Random(0), faults=None
+        )
+        assert ok
+        assert len(plan.free_riders) == len(NODE_IDS) // 2
+        assert all(plan.is_free_rider(n) for n in plan.free_riders)
+
+    def test_freeride_accumulates_across_events(self) -> None:
+        plan = BehaviorPlan()
+        rng = random.Random(0)
+        apply_behavior_spec(plan, "freeride:0.2", NODE_IDS, rng, faults=None)
+        first = set(plan.free_riders)
+        apply_behavior_spec(plan, "freeride:0.2", NODE_IDS, rng, faults=None)
+        assert first <= plan.free_riders
+
+    def test_classes_and_flaky_need_a_fault_injector(self) -> None:
+        plan = BehaviorPlan()
+        rng = random.Random(0)
+        state = rng.getstate()
+        assert not apply_behavior_spec(plan, "classes:1.0", NODE_IDS, rng, None)
+        assert not apply_behavior_spec(plan, "flaky:0.3:0.1", NODE_IDS, rng, None)
+        # Skipped specs must not consume randomness — replays with and
+        # without a lossy transport keep identical downstream streams.
+        assert rng.getstate() == state
+
+    def test_classes_spec_populates_plan_and_faults(self) -> None:
+        plan, faults = BehaviorPlan(), FaultInjector()
+        ok = apply_behavior_spec(
+            plan, "classes:1.2", NODE_IDS, random.Random(4), faults
+        )
+        assert ok
+        assert sorted(plan.classes) == NODE_IDS
+        assert plan.flaky == faults.flaky_nodes
+
+    def test_flaky_spec_marks_the_chosen_fraction(self) -> None:
+        plan, faults = BehaviorPlan(), FaultInjector()
+        ok = apply_behavior_spec(
+            plan, "flaky:0.25:0.2", NODE_IDS, random.Random(4), faults
+        )
+        assert ok
+        assert len(plan.flaky) == round(len(NODE_IDS) * 0.25)
+        for node_id, probability in plan.flaky.items():
+            assert probability == 0.2
+            assert faults.flaky_nodes[node_id] == 0.2
+
+    def test_flaky_probability_validated(self) -> None:
+        with pytest.raises(ValueError):
+            apply_behavior_spec(
+                BehaviorPlan(),
+                "flaky:0.5:1.5",
+                NODE_IDS,
+                random.Random(0),
+                FaultInjector(),
+            )

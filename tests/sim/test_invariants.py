@@ -152,3 +152,121 @@ class TestPostingConservation:
         ring.node(other).store[key] = clone
         report = engine.checker.check(quiescent=True)
         assert violated(report, "posting_conservation")
+
+
+class TestSlotVersionMonotone:
+    def test_detects_version_regression(self, engine) -> None:
+        # First check records the watermarks...
+        assert engine.check_now().ok
+        ring = engine.system.ring
+        slot = next(
+            s
+            for nid in ring.live_ids
+            for s in ring.node(nid).store.values()
+            if isinstance(s, TermSlot) and s.version > 0
+        )
+        # ...then a primary slot's history runs backwards in place — the
+        # recycled-version bug cache validation cannot survive.
+        slot._store._version -= 1
+        report = engine.checker.check(quiescent=False)
+        assert violated(report, "slot_version_monotone")
+
+    def test_slot_rehoming_resets_the_watermark(self, engine) -> None:
+        assert engine.check_now().ok
+        ring = engine.system.ring
+        node_id = next(
+            nid
+            for nid in ring.live_ids
+            for s in ring.node(nid).store.values()
+            if isinstance(s, TermSlot) and s.version > 1
+        )
+        node = ring.node(node_id)
+        key, slot = next(
+            (k, s)
+            for k, s in node.store.items()
+            if isinstance(s, TermSlot) and s.version > 1
+        )
+        # The slot leaves its home and returns with a *lower* version —
+        # legal: migration restarts history at the (node, key) pair.
+        del node.store[key]
+        assert engine.checker.check(quiescent=False).ok
+        slot._store._version = 1
+        node.store[key] = slot
+        report = engine.checker.check(quiescent=False)
+        assert not violated(report, "slot_version_monotone")
+
+
+class TestStormObservationInvariants:
+    @staticmethod
+    def _observation(**overrides):
+        from repro.sim import StormObservation
+
+        base = dict(
+            kind="storm",
+            queries=40,
+            distinct_queries=4,
+            cache_hits=36,
+            cache_misses=4,
+            postings_retrieved=40,
+            max_single_postings=10,
+            failures=0,
+            rcache_enabled=True,
+            disrupted=False,
+        )
+        base.update(overrides)
+        return StormObservation(**base)
+
+    def test_detects_ineffective_cache(self, engine) -> None:
+        engine.stress_log.append(
+            self._observation(cache_hits=10, cache_misses=30)
+        )
+        report = engine.checker.check(quiescent=False)
+        assert violated(report, "storm_cache_effective")
+
+    def test_detects_unbounded_hot_load(self, engine) -> None:
+        engine.stress_log.append(self._observation(postings_retrieved=400))
+        report = engine.checker.check(quiescent=False)
+        assert violated(report, "hot_load_bounded")
+
+    def test_disrupted_observations_are_exempt(self, engine) -> None:
+        engine.stress_log.append(
+            self._observation(
+                cache_misses=30, postings_retrieved=400, disrupted=True
+            )
+        )
+        report = engine.checker.check(quiescent=False)
+        assert report.ok
+
+    def test_cache_off_observations_are_exempt(self, engine) -> None:
+        engine.stress_log.append(
+            self._observation(
+                cache_hits=0, cache_misses=40, rcache_enabled=False
+            )
+        )
+        report = engine.checker.check(quiescent=False)
+        assert report.ok
+
+
+class TestResultCacheCoherent:
+    def test_detects_poisoned_servable_entry(self) -> None:
+        eng = build_simulation(seed=13, result_cache_size=32)
+        eng.apply(SimEvent("publish", count=60))
+        eng.apply(SimEvent("learn"))
+        for kind in ("stabilize", "replicate", "maintain"):
+            eng.apply(SimEvent(kind))
+        assert eng.quiescent
+        for query in eng.queries[:4]:
+            eng.system.search(query, cache=True)
+        assert eng.check_now().ok
+        protocol = eng.system.protocol
+        entry = next(
+            entry
+            for cache in protocol._result_caches.values()
+            for __, entry in cache.entries()
+            if entry.ranked and not entry.failed_terms
+        )
+        # Corrupt the cached ranking in place: still servable (versions
+        # match, no failed terms) but no longer the fresh answer.
+        entry.ranked = list(reversed(entry.ranked))
+        report = eng.check_now()
+        assert violated(report, "result_cache_coherent")

@@ -1,0 +1,118 @@
+"""Quality probes: precision/recall/NDCG vs the centralized oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeFailedError
+from repro.sim import QualityProbe, SimEvent, build_simulation
+
+
+@pytest.fixture()
+def engine():
+    eng = build_simulation(seed=5)
+    eng.apply(SimEvent("publish", count=60))
+    eng.apply(SimEvent("learn"))
+    for kind in ("stabilize", "replicate", "maintain"):
+        eng.apply(SimEvent(kind))
+    return eng
+
+
+class TestQualityProbe:
+    def test_readout_shape_and_bounds(self, engine) -> None:
+        probe = QualityProbe(engine.system, engine.queries)
+        readout = probe.measure("during")
+        assert readout.label == "during"
+        assert readout.queries == len(engine.queries)
+        assert readout.degraded == 0
+        for value in (
+            readout.mean_precision,
+            readout.mean_recall,
+            readout.mean_ndcg,
+        ):
+            assert 0.0 <= value <= 1.0
+        assert readout.mean_precision > 0.0  # the shared corpus is findable
+
+    def test_top_k_defaults_to_the_configured_answer_count(self, engine) -> None:
+        probe = QualityProbe(engine.system, engine.queries)
+        assert probe.top_k == engine.system.config.top_k_answers
+        assert QualityProbe(engine.system, engine.queries, top_k=3).top_k == 3
+
+    def test_probe_is_repeatable_and_non_mutating(self, engine) -> None:
+        probe = QualityProbe(engine.system, engine.queries)
+        first = probe.measure("a")
+        second = probe.measure("b")
+        assert (
+            first.mean_precision,
+            first.mean_recall,
+            first.mean_ndcg,
+            first.degraded,
+        ) == (
+            second.mean_precision,
+            second.mean_recall,
+            second.mean_ndcg,
+            second.degraded,
+        )
+
+    def test_nothing_shared_scores_zero_without_crashing(self) -> None:
+        eng = build_simulation(seed=5)  # no publish events applied
+        readout = QualityProbe(eng.system, eng.queries).measure("empty")
+        assert readout.mean_precision == 0.0
+        assert readout.mean_recall == 0.0
+        assert readout.mean_ndcg == 0.0
+        assert readout.degraded == 0
+
+    def test_unservable_queries_count_as_degraded_zeros(
+        self, engine, monkeypatch
+    ) -> None:
+        def explode(query, top_k, cache):
+            raise NodeFailedError(0)
+
+        monkeypatch.setattr(engine.system, "search", explode)
+        readout = QualityProbe(engine.system, engine.queries).measure("down")
+        assert readout.degraded == len(engine.queries)
+        assert readout.mean_precision == 0.0
+        assert readout.mean_ndcg == 0.0
+
+    def test_to_dict_and_summary(self, engine) -> None:
+        readout = QualityProbe(engine.system, engine.queries).measure("after")
+        record = readout.to_dict()
+        assert set(record) == {
+            "label",
+            "queries",
+            "degraded",
+            "precision",
+            "recall",
+            "ndcg",
+        }
+        assert record["precision"] == round(readout.mean_precision, 4)
+        assert "quality[after]:" in readout.summary()
+
+
+class TestEngineMeasureEvent:
+    def test_measure_appends_a_labelled_readout(self, engine) -> None:
+        assert engine.apply(SimEvent("measure", name="mid"))
+        assert [r.label for r in engine.quality] == ["mid"]
+
+    def test_unnamed_measure_labels_by_quiescence(self, engine) -> None:
+        assert engine.quiescent
+        engine.apply(SimEvent("measure"))
+        assert engine.quality[-1].label == "after"
+        engine.apply(SimEvent("crash"))
+        engine.apply(SimEvent("measure"))
+        assert engine.quality[-1].label == "during"
+
+    def test_report_carries_the_probes(self, engine) -> None:
+        from repro.sim import Scenario
+
+        report = engine.run(
+            Scenario(
+                seed=1,
+                events=(
+                    SimEvent("measure", name="one"),
+                    SimEvent("measure", name="two"),
+                ),
+            )
+        )
+        assert [r.label for r in report.quality] == ["one", "two"]
+        assert any("quality[one]" in line for line in report.summary_lines())

@@ -212,3 +212,59 @@ class TestStaleReplicaPruning:
         replication.prune_stale_replicas()
         # the inheritor is now responsible: its copy is promotable, kept
         assert key in ring.node(inheritor).replicas
+
+
+class TestConsecutiveDeadSuccessorLookup:
+    """Shrunk schedule for the ``ring.lookup`` orbit fix.
+
+    The one-deep ``(current, successor]`` ownership test cannot see past
+    *consecutive* failed successors: when a key's unrepaired owner is
+    the second dead entry in the successor list, the pre-fix router
+    skipped both corpses via ``first_live_successor`` and orbited the
+    ring until the step limit blew up as ``DHTError`` — instead of
+    reporting the Section 7 down-peer window (``NodeFailedError``) or
+    terminating at the key's live owner.  Pinned here on an explicit
+    8-node ring so the interval walk is auditable by eye.
+    """
+
+    def _ring(self) -> "ChordRing":
+        from repro.dht import ChordRing
+
+        return ChordRing(
+            ChordConfig(
+                num_peers=8, id_bits=32, successor_list_size=4, seed=1
+            ),
+            node_ids=[10, 20, 30, 40, 50, 60, 70, 80],
+        )
+
+    def test_dead_owner_behind_dead_successor_raises(self) -> None:
+        from repro.exceptions import NodeFailedError
+
+        ring = self._ring()
+        ring.fail(20)
+        ring.fail(30)  # two consecutive dead successors of node 10
+        # Key 25's owner is node 30 — dead, unrepaired: the down-peer
+        # window must surface as NodeFailedError, not a routing orbit.
+        with pytest.raises(NodeFailedError):
+            ring.lookup(10, 25, record=False)
+
+    def test_live_owner_past_dead_pair_terminates(self) -> None:
+        ring = self._ring()
+        ring.fail(20)
+        ring.fail(30)
+        # Key 35's owner is node 40 — alive past the dead pair; the
+        # successor-list interval walk must terminate there directly.
+        result = ring.lookup(10, 35, record=False)
+        assert result.node_id == 40
+        assert result.path[0] == 10
+        assert result.path[-1] == 40
+
+    def test_after_repair_lookup_resolves_to_next_live_owner(self) -> None:
+        ring = self._ring()
+        ring.fail(20)
+        ring.fail(30)
+        for __ in range(4):
+            ring.stabilize()
+        # Once stabilization absorbs the failures, key 25 belongs to
+        # the next live node on the ring.
+        assert ring.lookup(10, 25, record=False).node_id == 40

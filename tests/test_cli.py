@@ -322,3 +322,83 @@ class TestCheck:
         )
         assert code == 0
         assert "all invariants held" in output
+
+
+class TestCheckCatalogue:
+    def test_single_scenario_runs_clean(self) -> None:
+        code, output = run_cli(
+            "check", "--catalogue", "flash_crowd", "--seed", "0",
+            "--peers", "16",
+        )
+        assert code == 0
+        assert "[flash_crowd]" in output
+        assert "quality[before]" in output
+        assert "quality[during]" in output
+        assert "quality[after]" in output
+        assert "all invariants held" in output
+
+    def test_unknown_scenario_lists_the_valid_names(self) -> None:
+        code, output = run_cli("check", "--catalogue", "nope")
+        assert code == 2
+        assert output.startswith("error: unknown catalogue scenario 'nope'")
+        assert "flash_crowd" in output
+        assert "'all'" in output
+
+    def test_catalogue_counts_toward_exactly_one_source(self, tmp_path) -> None:
+        code, output = run_cli(
+            "check", "--catalogue", "flash_crowd", "--random"
+        )
+        assert code == 2
+        assert "exactly one" in output
+        code, output = run_cli(
+            "check", "--catalogue", "flash_crowd",
+            "--scenario", str(tmp_path / "s.json"),
+        )
+        assert code == 2
+
+    def test_json_record_emitted(self) -> None:
+        import json as json_module
+
+        code, output = run_cli(
+            "check", "--catalogue", "hot_term_storm", "--seed", "0",
+            "--peers", "16", "--json",
+        )
+        assert code == 0
+        payload = output[output.index("{"):]
+        records = json_module.loads(payload)
+        assert set(records) == {"hot_term_storm"}
+        record = records["hot_term_storm"]
+        assert record["final_quiescent"] is True
+        assert record["violations"] == 0
+        assert set(record["quality"]) == {"before", "during", "after"}
+
+    def test_catalogue_rejects_store_backend(self) -> None:
+        code, output = run_cli(
+            "check", "--catalogue", "flash_crowd",
+            "--store-backend", "sqlite",
+        )
+        assert code == 2
+        assert "drop --store-backend" in output
+
+
+class TestStoreFlagParity:
+    """check and perf reject malformed store flags with identical
+    messages — the drift this helper was extracted to end."""
+
+    CASES = [
+        (("--store-dir", "x"),
+         "error: --store-dir requires --store-backend sqlite\n"),
+        (("--snapshot-dir", "x"),
+         "error: --snapshot-dir requires --store-backend sqlite\n"),
+        (("--snapshot-interval", "3"),
+         "error: --snapshot-interval requires --store-backend sqlite\n"),
+        (("--store-backend", "sqlite", "--snapshot-interval", "-1"),
+         "error: --snapshot-interval must be >= 0\n"),
+    ]
+
+    @pytest.mark.parametrize("flags,message", CASES)
+    def test_check_and_perf_agree(self, flags, message) -> None:
+        check_code, check_output = run_cli("check", "--random", *flags)
+        perf_code, perf_output = run_cli("perf", "--small", *flags)
+        assert check_code == perf_code == 2
+        assert check_output == perf_output == message
