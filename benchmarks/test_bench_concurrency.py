@@ -1,0 +1,176 @@
+"""Tracked concurrent-runtime benchmark (ISSUE 9, DESIGN.md §15).
+
+Runs the :mod:`repro.perf.concurrency` grid — closed-loop client
+populations and open-loop Poisson arrivals over per-peer bounded
+service queues, plus a slow-peer straggler column — asserts every cell
+leaves the ranking checksum identical to a synchronous re-execution of
+the same stream, and records the tail-latency trajectory into
+``benchmarks/BENCH_CONCURRENCY.json``.
+
+Scales (``BENCH_CONCURRENCY_SCALE``):
+
+* ``smoke`` (default) — 150 peers / 400 ops, a couple of seconds; what
+  CI's benchmark smoke job runs.
+* ``paper`` — the tracked 1,000-peer / 3,000-op grid from the issue's
+  acceptance criteria.
+
+Regression guard: with ``BENCH_CONCURRENCY_ENFORCE=1`` the run fails if
+the fresh 64-client closed-loop p99 inflates more than 30% above the
+committed record for the same scale (CI sets this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.concurrency import (
+    ConcurrencyConfig,
+    run_concurrency_grid,
+    smoke_config,
+)
+
+RECORD_PATH = Path(__file__).parent / "BENCH_CONCURRENCY.json"
+SCALE = os.environ.get("BENCH_CONCURRENCY_SCALE", "smoke")
+ENFORCE = os.environ.get("BENCH_CONCURRENCY_ENFORCE", "") == "1"
+#: Max tolerated p99 inflation vs the committed record (30%).
+REGRESSION_CEILING = 1.3
+
+
+def _config() -> ConcurrencyConfig:
+    return ConcurrencyConfig() if SCALE == "paper" else smoke_config()
+
+
+def _format_table(result) -> str:
+    lines = [
+        f"concurrency grid [{SCALE}]: {result.num_peers} peers, "
+        f"{result.num_ops} ops over {result.distinct_queries} distinct "
+        f"queries (capture {result.capture_s:.2f}s, "
+        f"sync verify {result.sync_s:.2f}s)",
+        f"{'mode':<6} {'load':<10} {'svc_ms':>6} {'strag':>5} {'ops/s':>9} "
+        f"{'p50_ms':>8} {'p99_ms':>8} {'p99.9_ms':>8} {'qdepth':>6} "
+        f"{'util':>5} {'drops':>5}",
+    ]
+    for cell in result.cells:
+        load = (
+            f"cl={cell.clients}"
+            if cell.mode == "closed"
+            else f"{cell.arrival_rate_per_s:g}/s"
+        )
+        lines.append(
+            f"{cell.mode:<6} {load:<10} {cell.service_time_ms:>6.2f} "
+            f"{'yes' if cell.stragglers else 'no':>5} "
+            f"{cell.throughput_ops_per_s:>9.0f} {cell.latency_p50_ms:>8.2f} "
+            f"{cell.latency_p99_ms:>8.2f} {cell.latency_p99_9_ms:>8.2f} "
+            f"{cell.max_queue_depth:>6} {cell.utilization_mean:>5.2f} "
+            f"{cell.queue_drops:>5}"
+        )
+    lines.append(f"checksums match (all cells + sync): {result.checksums_match}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def measurements(record_result):
+    cfg = _config()
+    committed = {}
+    if RECORD_PATH.exists():
+        committed = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+
+    result = run_concurrency_grid(cfg)
+
+    record = dict(committed)
+    record[SCALE] = result.to_dict()
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    record_result("concurrency", _format_table(result))
+    return {"result": result, "cfg": cfg, "committed": committed}
+
+
+def test_bench_concurrency_grid(benchmark, measurements) -> None:
+    """Time one small closed-loop grid for the pytest-benchmark table."""
+    cfg = smoke_config().replaced(
+        num_ops=150,
+        clients_grid=(16,),
+        open_loop_rates_per_s=(),
+        verify_sync=False,
+    )
+    benchmark.pedantic(run_concurrency_grid, args=(cfg,), rounds=1, iterations=1)
+
+
+class TestEquivalence:
+    def test_every_cell_matches_synchronous_execution(self, measurements) -> None:
+        result = measurements["result"]
+        assert result.checksums_match
+        assert result.sync_ranking_checksum == result.ranking_checksum
+
+    def test_single_client_is_strictly_sequential(self, measurements) -> None:
+        result, cfg = measurements["result"], measurements["cfg"]
+        cell = result.cell(
+            clients=1, service_time_ms=cfg.service_times_ms[0], stragglers=False
+        )
+        assert cell.max_queue_depth == 1
+        assert cell.mean_wait_ms == 0.0
+
+
+class TestConcurrencyWins:
+    def test_closed_loop_scaling_beats_single_client(self, measurements) -> None:
+        """The headline acceptance criterion: overlapping in-flight
+        queries raise throughput over one-at-a-time execution."""
+        result, cfg = measurements["result"], measurements["cfg"]
+        top = max(cfg.clients_grid)
+        for service in cfg.service_times_ms:
+            sequential = result.cell(
+                clients=1, service_time_ms=service, stragglers=False
+            )
+            loaded = result.cell(
+                clients=top, service_time_ms=service, stragglers=False
+            )
+            assert (
+                loaded.throughput_ops_per_s > sequential.throughput_ops_per_s
+            ), f"no concurrency win at service_time={service}ms"
+
+
+class TestStragglers:
+    def test_stragglers_inflate_tail_not_median(self, measurements) -> None:
+        result, cfg = measurements["result"], measurements["cfg"]
+        top = max(cfg.clients_grid)
+        base = result.cell(
+            clients=top, service_time_ms=cfg.service_times_ms[0], stragglers=False
+        )
+        stressed = result.cell(
+            clients=top, service_time_ms=cfg.service_times_ms[0], stragglers=True
+        )
+        assert stressed.latency_p99_9_ms > base.latency_p99_9_ms
+        assert stressed.latency_p50_ms < 2.0 * base.latency_p50_ms
+
+
+class TestRegressionGuard:
+    def test_p99_vs_committed_record(self, measurements) -> None:
+        committed = measurements["committed"].get(SCALE)
+        if not committed:
+            pytest.skip(f"no committed record for scale {SCALE!r} yet")
+        if not ENFORCE:
+            pytest.skip("BENCH_CONCURRENCY_ENFORCE not set (informational run)")
+        result, cfg = measurements["result"], measurements["cfg"]
+        top = max(cfg.clients_grid)
+        current = result.cell(
+            clients=top,
+            service_time_ms=cfg.service_times_ms[0],
+            stragglers=False,
+        ).latency_p99_ms
+        previous = next(
+            c["latency_p99_ms"]
+            for c in committed["cells"]
+            if c["mode"] == "closed"
+            and c["clients"] == top
+            and c["service_time_ms"] == cfg.service_times_ms[0]
+            and not c["stragglers"]
+        )
+        assert current <= REGRESSION_CEILING * previous, (
+            f"closed-loop p99 regressed: {current:.2f}ms vs committed "
+            f"{previous:.2f}ms (ceiling {REGRESSION_CEILING:.0%})"
+        )

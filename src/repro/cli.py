@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from typing import List, Optional
@@ -292,7 +293,10 @@ def cmd_net(args: argparse.Namespace, out) -> int:
         f"timeout={config.network.timeout_ms:.0f}ms, "
         f"retries={config.network.max_retries}\n"
     )
-    out.write("drop        ok    failed    retries    p50_ms    p99_ms    by category\n")
+    out.write(
+        "drop        ok    failed    retries    p50_ms    p99_ms"
+        "  p99.9_ms    by category\n"
+    )
     for rate in rates:
         net_cfg = dataclasses.replace(
             config.network, transport="lossy", drop_probability=rate
@@ -317,6 +321,7 @@ def cmd_net(args: argparse.Namespace, out) -> int:
         out.write(
             f"{rate:>4.2f}  {ok:>8}  {failed:>8}  {s.retries:>9}"
             f"  {s.latency_p50_ms:>8.1f}  {s.latency_p99_ms:>8.1f}"
+            f"  {s.latency_p99_9_ms:>8.1f}"
             f"    {categories}\n"
         )
     return 0
@@ -375,8 +380,6 @@ def cmd_report(args: argparse.Namespace, out) -> int:
 
 def cmd_perf(args: argparse.Namespace, out) -> int:
     """Run the tracked perf workload and print the measurement."""
-    import json
-
     from .perf.bench import paper_scale_config, run_perf_workload, smoke_config
 
     # Validate the shared network flags even though the workload runs on
@@ -399,6 +402,8 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         return _cmd_perf_store(args, out)
     if args.mode == "scale":
         return _cmd_perf_scale(args, out)
+    if args.mode == "concurrency":
+        return _cmd_perf_concurrency(args, out)
     cfg = smoke_config() if args.small else paper_scale_config()
     cfg = cfg.replaced(
         optimized=not args.baseline, seed=args.seed, kernel=args.kernel
@@ -455,8 +460,6 @@ def _write_memory_line(out) -> None:
 
 def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
     """Run the sharded scale workload (DESIGN.md §13) and print it."""
-    import json
-
     from .perf.scale import (
         run_scale_workload,
         scale_paper_config,
@@ -496,10 +499,76 @@ def _cmd_perf_scale(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_grid(raw: str, cast, flag: str):
+    """Parse a comma-separated CLI grid (``--clients 1,16,64``)."""
+    try:
+        values = tuple(cast(v) for v in raw.split(",") if v.strip())
+    except ValueError:
+        raise ConfigurationError(f"bad {flag} value {raw!r}")
+    if not values or any(v <= 0 for v in values):
+        raise ConfigurationError(f"{flag} needs positive comma-separated values")
+    return values
+
+
+def _cmd_perf_concurrency(args: argparse.Namespace, out) -> int:
+    """Run the event-driven concurrency grid (DESIGN.md §15) and print it."""
+    from .perf.concurrency import (
+        ConcurrencyConfig,
+        run_concurrency_grid,
+        smoke_config,
+    )
+
+    cfg = smoke_config() if args.small else ConcurrencyConfig()
+    overrides = {"seed": args.seed}
+    if args.clients:
+        overrides["clients_grid"] = _parse_grid(args.clients, int, "--clients")
+    if args.arrival_rate:
+        overrides["open_loop_rates_per_s"] = _parse_grid(
+            args.arrival_rate, float, "--arrival-rate"
+        )
+    cfg = cfg.replaced(**overrides)
+    out.write(
+        f"concurrency grid: {cfg.num_peers} peers, {cfg.num_ops} ops over "
+        f"{cfg.distinct_queries} distinct queries, "
+        f"clients {','.join(str(c) for c in cfg.clients_grid)}, "
+        f"service {','.join(f'{s:g}ms' for s in cfg.service_times_ms)}, "
+        f"open-loop {','.join(f'{r:g}/s' for r in cfg.open_loop_rates_per_s)}\n"
+    )
+    result = run_concurrency_grid(cfg)
+    if args.json:
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(
+        f"  capture {result.capture_s:.2f}s · sync verify {result.sync_s:.2f}s\n"
+    )
+    out.write(
+        "  mode    load        svc_ms  strag      ops/s     p50_ms"
+        "     p99_ms   p99.9_ms  qdepth   util  drops\n"
+    )
+    for cell in result.cells:
+        load = (
+            f"cl={cell.clients}"
+            if cell.mode == "closed"
+            else f"{cell.arrival_rate_per_s:g}/s"
+        )
+        out.write(
+            f"  {cell.mode:<6}  {load:<10}  {cell.service_time_ms:>6.2f}"
+            f"  {'yes' if cell.stragglers else 'no':>5}"
+            f"  {cell.throughput_ops_per_s:>9.0f}  {cell.latency_p50_ms:>9.2f}"
+            f"  {cell.latency_p99_ms:>9.2f}  {cell.latency_p99_9_ms:>9.2f}"
+            f"  {cell.max_queue_depth:>6}  {cell.utilization_mean:>5.2f}"
+            f"  {cell.queue_drops:>5}\n"
+        )
+    out.write(
+        "  ranking checksums (all cells + synchronous re-execution) "
+        + ("MATCH\n" if result.checksums_match else "DIVERGED\n")
+    )
+    _write_memory_line(out)
+    return 0 if result.checksums_match else 1
+
+
 def _cmd_perf_topk(args: argparse.Namespace, out) -> int:
     """Run the four-mode top-k comparison (ISSUE 4) and print it."""
-    import json
-
     from .perf.topk import (
         TOP_K,
         run_topk_comparison,
@@ -548,8 +617,6 @@ def _cmd_perf_topk(args: argparse.Namespace, out) -> int:
 
 def _cmd_perf_ingest(args: argparse.Namespace, out) -> int:
     """Run the three-arm write-path comparison (ISSUE 5) and print it."""
-    import json
-
     from .perf.ingest import (
         ingest_paper_config,
         ingest_smoke_config,
@@ -598,8 +665,6 @@ def _cmd_perf_ingest(args: argparse.Namespace, out) -> int:
 
 def _cmd_perf_store(args: argparse.Namespace, out) -> int:
     """Run the store backend + recovery comparison (ISSUE 6) and print it."""
-    import json
-
     from .perf.store import (
         run_store_comparison,
         store_paper_config,
@@ -673,8 +738,6 @@ def _cmd_check_catalogue(args: argparse.Namespace, out) -> int:
     print each run's invariant verdict plus its quality-under-stress
     readouts.  Exit 1 if any run violates an invariant or fails to end
     quiescent."""
-    import json
-
     from .sim import CATALOGUE, report_record, run_catalogue
 
     names = sorted(CATALOGUE) if args.catalogue == "all" else [args.catalogue]
@@ -876,7 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=("e2e", "topk", "ingest", "store", "scale"),
+        choices=("e2e", "topk", "ingest", "store", "scale", "concurrency"),
         default="e2e",
         help="e2e: one workload run; topk: the four-mode top-k comparison "
         "(legacy / batched / early-termination / result-cached); ingest: "
@@ -884,7 +947,9 @@ def build_parser() -> argparse.ArgumentParser:
         "per-term / destination-grouped batched); store: the posting-store "
         "backend comparison (memory / sqlite / sqlite+bloom) plus the "
         "snapshot-vs-full crash-recovery comparison; scale: the "
-        "process-sharded 100k-peer workload (DESIGN.md §13)",
+        "process-sharded 100k-peer workload (DESIGN.md §13); concurrency: "
+        "the event-driven closed/open-loop tail-latency grid with per-peer "
+        "service queues and slow-peer stragglers (DESIGN.md §15)",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     scale = p.add_argument_group("scale-out engine (DESIGN.md §13)")
@@ -908,6 +973,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="phase-B scoring kernel: python (scalar, default) or numpy "
         "(vectorized slot kernels; needs the perf extra). Rankings are "
         "bit-identical either way.",
+    )
+    concurrency = p.add_argument_group("concurrent runtime (DESIGN.md §15)")
+    concurrency.add_argument(
+        "--clients",
+        default="",
+        help="closed-loop client populations for --mode concurrency, "
+        "comma-separated (default: the config grid, e.g. 1,16,64)",
+    )
+    concurrency.add_argument(
+        "--arrival-rate",
+        default="",
+        help="open-loop Poisson arrival rates (ops/s) for --mode "
+        "concurrency, comma-separated (default: the config grid)",
     )
     _add_store(p)
     p.set_defaults(handler=cmd_perf)

@@ -3,6 +3,14 @@
 from .bloom_search import BloomExecution, BloomQueryProcessor
 from .esearch import ESearchSystem
 from .indexer import IndexingProtocol
+from .inflight import (
+    CapturedOp,
+    InFlightQuery,
+    capture_operation,
+    capture_query,
+    dispatch,
+    dispatch_query,
+)
 from .maintenance import MaintenanceDaemon, MaintenanceReport
 from .learning import (
     IncrementalLearner,
@@ -27,12 +35,14 @@ __all__ = [
     "BloomExecution",
     "BloomQueryProcessor",
     "CachedQuery",
+    "CapturedOp",
     "DistributedSystem",
     "ESearchSystem",
     "MaintenanceDaemon",
     "MaintenanceReport",
     "IncrementalLearner",
     "IndexingProtocol",
+    "InFlightQuery",
     "OwnerPeer",
     "PostingEntry",
     "QueryCache",
@@ -43,7 +53,11 @@ __all__ = [
     "SpriteSystem",
     "TermSlot",
     "TermStats",
+    "capture_operation",
+    "capture_query",
     "combined_score",
+    "dispatch",
+    "dispatch_query",
     "initial_terms",
     "naive_rank_terms",
     "q_score",

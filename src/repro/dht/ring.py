@@ -46,9 +46,10 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left, bisect_right, insort
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..config import ChordConfig
 from ..exceptions import (
@@ -58,7 +59,7 @@ from ..exceptions import (
     NodeFailedError,
     NodeNotFoundError,
 )
-from ..net import DeliveryOutcome, PerfectTransport, Transport
+from ..net import DeliveryOutcome, PerfectTransport, TraceLog, Transport
 from ..perf import PROFILE, RouteCache
 from .hashing import IdSpace, md5_hash
 from .messages import ADDRESS_BYTES, Message, MessageKind, QUERY_HEADER_BYTES
@@ -538,6 +539,34 @@ class ChordRing:
     def lookup_term(self, start_id: int, term: str, record: bool = True) -> LookupResult:
         """Lookup the indexing peer responsible for a term (MD5-hashed)."""
         return self.lookup(start_id, self.space.hash_key(term), record=record)
+
+    @contextmanager
+    def capture_messages(self) -> Iterator[TraceLog]:
+        """Record every message the ring delivers inside the ``with``
+        block into a private :class:`~repro.net.TraceLog`.
+
+        This is the capture half of the event-driven runtime's
+        capture-at-dispatch / timeline-replay contract (DESIGN.md §15):
+        one synchronous operation runs under capture, and the recorded
+        ``(kind, dst)`` sequence becomes the timeline the scheduler
+        replays.  Attaching the log makes the transport *active*, so
+        per-hop lookup deliveries are recorded too; with the perfect
+        transport this observes without perturbing — every delivered hop
+        targets a live node, so outcomes, statistics, and rankings are
+        unchanged.  Any previously attached trace log is restored on
+        exit and receives the captured records as well, so external
+        observers miss nothing.
+        """
+        log = TraceLog()
+        prior = self.transport.trace
+        self.transport.trace = log
+        try:
+            yield log
+        finally:
+            self.transport.trace = prior
+            if prior is not None:
+                for record in log.records:
+                    prior.record(record)
 
     def send(self, message: Message) -> None:
         """Deliver an application message through the transport and

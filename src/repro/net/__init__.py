@@ -17,6 +17,20 @@ from .latency import (
     LogNormalLatency,
     UniformLatency,
 )
+from .sched import (
+    QUEUE_DROP,
+    SERVED,
+    TIMED_OUT,
+    EventLoop,
+    MessageFuture,
+    OpFuture,
+    PeerServer,
+    Scheduler,
+    SendRequest,
+    ServiceReceipt,
+    Sleep,
+    replay_timeline,
+)
 from .trace import (
     DELIVERED,
     DEST_DOWN,
@@ -41,17 +55,28 @@ __all__ = [
     "DELIVERED",
     "DEST_DOWN",
     "DROPPED",
+    "QUEUE_DROP",
+    "SERVED",
+    "TIMED_OUT",
     "ConstantLatency",
     "DeliveryOutcome",
     "DeliveryPolicy",
     "DeliveryReceipt",
+    "EventLoop",
     "FaultInjector",
     "LatencyModel",
     "LogNormalLatency",
     "LossyTransport",
+    "MessageFuture",
     "MessageTrace",
+    "OpFuture",
+    "PeerServer",
     "PerfectTransport",
+    "Scheduler",
+    "SendRequest",
+    "ServiceReceipt",
     "SimulatedClock",
+    "Sleep",
     "TraceLog",
     "TraceSummary",
     "Transport",
@@ -59,4 +84,5 @@ __all__ = [
     "build_latency_model",
     "build_transport",
     "percentile",
+    "replay_timeline",
 ]

@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Six comparisons, all on a churn-free ring:
+Seven comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -52,6 +52,17 @@ Six comparisons, all on a churn-free ring:
   full seeded flow.  When numpy is not installed the comparison
   degenerates to an empty (vacuously consistent) report — the kernel
   is an optional ``perf`` extra, never a correctness dependency.
+
+* **Concurrent-runtime equivalence** — the DESIGN.md §15 event-driven
+  runtime is a *timing* model layered over unchanged semantics, so the
+  same query sequence submitted through
+  :class:`~repro.perf.concurrency.ConcurrentRuntime` at concurrency 1
+  (one client, ops dispatched strictly in submission order) must leave
+  the system bit-identical to plain call-stack execution: every ranking
+  exact, score bits included, and the full
+  :func:`write_state_fingerprint` of the quiescent system equal —
+  query-cache registrations and all other mutations happen in the same
+  order, because at concurrency 1 dispatch order *is* submission order.
 
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
@@ -515,6 +526,67 @@ class DifferentialOracle:
             chord_config=self._chord_config(optimized=True),
         )
 
+    # -- comparison 3d: event-driven runtime vs call-stack execution ---------
+
+    def check_concurrent_runtime(self) -> OracleReport:
+        """Submit the test queries through the event-driven runtime at
+        concurrency 1 and through the plain call-stack path, on two
+        identically built systems; every ranking and the quiescent
+        write-state fingerprint must match exactly.
+
+        Queries run with ``cache=True`` deliberately: each one mutates
+        query-cache state, so the fingerprint comparison proves the
+        runtime preserved the *order* of mutations, not just the
+        results."""
+        from ..net.sched import Scheduler
+        from ..perf.concurrency import ConcurrentRuntime
+
+        report = OracleReport(name="concurrent-runtime")
+        sequential = self._build_sprite(optimized=True)
+        concurrent = self._build_sprite(optimized=True)
+        for system in (sequential, concurrent):
+            system.share_corpus()
+            system.register_queries(self.train)
+            system.run_learning()
+
+        baseline = [
+            _pairs(sequential.search(query, cache=True)) for query in self.test
+        ]
+        runtime = ConcurrentRuntime(
+            concurrent, Scheduler(service_time_ms=0.25, seed=self.seed)
+        )
+        for query in self.test:
+            runtime.submit(query, cache=True)
+        completed = runtime.run()
+
+        for query, reference, (_q, result) in zip(self.test, baseline, completed):
+            replayed = _pairs(result[0])
+            report.queries_compared += 1
+            if replayed != reference:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=(
+                            f"event-driven={replayed[:3]}... "
+                            f"call-stack={reference[:3]}..."
+                        ),
+                    )
+                )
+        direct_state = write_state_fingerprint(sequential)
+        replay_state = write_state_fingerprint(concurrent)
+        for part in ("slots", "version_rank", "owners"):
+            if direct_state[part] != replay_state[part]:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id="<state>",
+                        detail=(
+                            f"quiescent write-state {part} diverged between "
+                            "the event-driven and call-stack executions"
+                        ),
+                    )
+                )
+        return report
+
     # -- comparison 4: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
@@ -573,6 +645,7 @@ class DifferentialOracle:
             self.check_ingest_paths(),
             self.check_store_paths(),
             self.check_kernel_paths(),
+            self.check_concurrent_runtime(),
             self.check_centralized_baseline(),
         ]
         return {r.name: r for r in reports}

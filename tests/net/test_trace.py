@@ -29,6 +29,26 @@ class TestPercentile:
     def test_empty_is_zero(self) -> None:
         assert percentile([], 50) == 0.0
 
+    def test_empty_is_zero_at_every_quantile(self) -> None:
+        """The documented 0.0-on-empty behaviour holds across the whole
+        q range — including the boundaries and the fractional p99.9 the
+        concurrency reports use — so reports can always print."""
+        for q in (0.0, 0.1, 50, 99, 99.9, 100.0):
+            assert percentile([], q) == 0.0
+
+    def test_empty_still_validates_q(self) -> None:
+        """An out-of-range q is rejected even when the sample set is
+        empty — the guard runs before the empty-sample short-circuit."""
+        with pytest.raises(ValueError):
+            percentile([], -0.1)
+        with pytest.raises(ValueError):
+            percentile([], 100.1)
+
+    def test_fractional_quantile_nearest_rank(self) -> None:
+        samples = [float(v) for v in range(1, 2001)]  # 1..2000
+        assert percentile(samples, 99.9) == 1999.0
+        assert percentile([5.0, 6.0], 99.9) == 6.0
+
     def test_single_sample(self) -> None:
         assert percentile([7.0], 50) == 7.0
         assert percentile([7.0], 99) == 7.0
@@ -70,7 +90,18 @@ class TestRollup:
         summary = log.rollup()
         assert summary.latency_p50_ms == 20.0
         assert summary.latency_p99_ms == 30.0
+        assert summary.latency_p99_9_ms == 30.0
         assert summary.latency_mean_ms == pytest.approx(20.0)
+
+    def test_p99_9_separates_from_p99_at_scale(self) -> None:
+        """With ≳1000 delivered samples the deep-tail readout picks a
+        strictly later rank than p99 — the whole point of reporting it."""
+        log = TraceLog()
+        for latency in range(1, 2001):  # 1..2000 ms
+            log.record(trace(latency=float(latency)))
+        summary = log.rollup()
+        assert summary.latency_p99_ms == 1980.0
+        assert summary.latency_p99_9_ms == 1999.0
 
     def test_kind_filter(self) -> None:
         log = TraceLog()
@@ -118,6 +149,7 @@ class TestSummaryTable:
         assert "messages   2" in table_a
         assert "retries    1" in table_a
         assert "kind lookup" in table_a
+        assert "p99.9=" in table_a
 
     def test_clear(self) -> None:
         log = TraceLog()

@@ -1,5 +1,6 @@
 """The differential oracle: perf paths, top-k paths, ingest paths,
-store paths, kernel paths, and the centralized baseline."""
+store paths, kernel paths, the concurrent runtime, and the centralized
+baseline."""
 
 from __future__ import annotations
 
@@ -113,6 +114,16 @@ class TestKernelPaths:
         assert report.ok
 
 
+class TestConcurrentRuntime:
+    def test_event_driven_concurrency_one_bit_identical(self, oracle) -> None:
+        """The seventh comparison: the DESIGN.md §15 runtime at
+        concurrency 1 must leave rankings AND the quiescent write-state
+        fingerprint bit-identical to call-stack execution."""
+        report = oracle.check_concurrent_runtime()
+        assert report.queries_compared > 0
+        assert report.ok, [m.detail for m in report.mismatches]
+
+
 class TestCentralizedBaseline:
     def test_full_index_matches_centralized_tfidf(self, oracle) -> None:
         report = oracle.check_centralized_baseline()
@@ -139,6 +150,7 @@ class TestCheckAll:
             "ingest-paths",
             "store-paths",
             "kernel-paths",
+            "concurrent-runtime",
             "centralized-baseline",
         }
         assert all(r.ok for r in reports.values())

@@ -90,7 +90,8 @@ class TestNet:
         lines = [l for l in output.splitlines() if l.strip()]
         # lines[0] is the run preamble; the table follows.
         assert lines[1].split() == [
-            "drop", "ok", "failed", "retries", "p50_ms", "p99_ms", "by", "category",
+            "drop", "ok", "failed", "retries", "p50_ms", "p99_ms", "p99.9_ms",
+            "by", "category",
         ]
         rows = [l.split() for l in lines[2:]]
         assert [r[0] for r in rows] == ["0.00", "0.20"]
@@ -204,6 +205,42 @@ class TestPerf:
             payload["batched"]["publish_messages_per_doc"]
             < payload["legacy"]["publish_messages_per_doc"]
         )
+
+    def test_perf_concurrency_prints_tail_latency_grid(self) -> None:
+        code, output = run_cli(
+            "perf", "--mode", "concurrency", "--small",
+            "--clients", "1,8", "--arrival-rate", "1500",
+        )
+        assert code == 0
+        header = [l for l in output.splitlines() if "p99.9_ms" in l][0]
+        assert header.split() == [
+            "mode", "load", "svc_ms", "strag", "ops/s", "p50_ms",
+            "p99_ms", "p99.9_ms", "qdepth", "util", "drops",
+        ]
+        assert "closed" in output and "open" in output
+        assert "cl=1" in output and "cl=8" in output and "1500/s" in output
+        assert "MATCH" in output
+
+    def test_perf_concurrency_json_record(self) -> None:
+        import json
+
+        code, output = run_cli(
+            "perf", "--mode", "concurrency", "--small",
+            "--clients", "1,4", "--arrival-rate", "1000", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["checksums_match"] is True
+        assert any(c["mode"] == "open" for c in payload["cells"])
+        assert all("latency_p99_9_ms" in c for c in payload["cells"])
+
+    def test_perf_concurrency_validates_grids(self) -> None:
+        for flag, value in (("--clients", "0"), ("--arrival-rate", "nope")):
+            code, output = run_cli(
+                "perf", "--mode", "concurrency", "--small", flag, value
+            )
+            assert code == 2
+            assert output.startswith("error:")
 
 
 class TestGenerate:
