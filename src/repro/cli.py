@@ -31,6 +31,10 @@ route every simulated message through :mod:`repro.net`.  ``perf`` and
 ``check`` additionally take the durable-store flags
 (``--store-backend sqlite --store-dir ... --snapshot-dir ...
 --snapshot-interval N``) selecting the :mod:`repro.store` backend.
+``net``, ``perf``, and ``check`` take the overlay-ring flags
+(``--ring record --ring-arity 8``) selecting the recursive ReCord
+routing structure (DESIGN.md §16); ``perf --mode route`` sweeps a whole
+ring × arity × peers grid (``--rings chord,record:8 --peers-grid ...``).
 Results print as the same tables the benchmark harness records, plus
 ASCII charts of the figure shapes.
 """
@@ -47,6 +51,7 @@ from typing import List, Optional
 from .config import (
     ExperimentConfig,
     LATENCY_MODELS,
+    RING_KINDS,
     SCORING_KERNELS,
     STORE_BACKENDS,
     TRANSPORT_KINDS,
@@ -182,6 +187,45 @@ def _store_args_error(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _add_ring(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the overlay routing structure (DESIGN.md §16)."""
+    ring = parser.add_argument_group("overlay ring (repro.dht)")
+    ring.add_argument(
+        "--ring",
+        choices=RING_KINDS,
+        default="",
+        help="routing structure: chord (binary fingers, default) or "
+        "record (recursive base-b fingers, DESIGN.md §16)",
+    )
+    ring.add_argument(
+        "--ring-arity",
+        type=int,
+        default=0,
+        help="ReCord branching factor b >= 2 (--ring record only; "
+        "default 2, which routes exactly like Chord)",
+    )
+
+
+def _ring_args_error(args: argparse.Namespace) -> Optional[str]:
+    """Shared validation for the overlay-ring flags.
+
+    ``net``, ``perf``, and ``check`` take the same ``--ring`` /
+    ``--ring-arity`` flags; like :func:`_store_args_error` they all
+    route through this helper so the messages cannot drift apart.
+    """
+    if args.ring_arity and args.ring_arity < 2:
+        return "error: --ring-arity must be >= 2\n"
+    if args.ring_arity and args.ring != "record":
+        return "error: --ring-arity only applies to --ring record\n"
+    return None
+
+
+def _resolve_ring(args: argparse.Namespace) -> tuple:
+    """The ``(kind, arity)`` the ring flags select (after validation)."""
+    kind = args.ring or "chord"
+    return kind, (args.ring_arity or 2)
+
+
 def _build_env(args: argparse.Namespace, out) -> object:
     config = _config_from_args(args)
     t0 = time.time()
@@ -269,15 +313,22 @@ def cmd_hops(args: argparse.Namespace, out) -> int:
 def cmd_net(args: argparse.Namespace, out) -> int:
     """Sweep message-drop rates over a bare ring: for each rate, run a
     batch of random lookups through a fresh seeded lossy transport and
-    report success counts, retry totals, and latency percentiles — the
-    robustness curve of the routing layer itself (no corpus needed)."""
+    report success counts, hop statistics, retry totals, and latency
+    percentiles — the robustness curve of the routing layer itself (no
+    corpus needed).  ``--ring record --ring-arity b`` swaps in the
+    recursive ReCord overlay (DESIGN.md §16)."""
     import random as _random
 
-    from .dht import ChordRing
+    from .dht import build_ring
     from .exceptions import NodeFailedError
     from .net import build_transport
 
     config = _config_from_args(args)
+    error = _ring_args_error(args)
+    if error:
+        out.write(error)
+        return 2
+    kind, arity = _resolve_ring(args)
     try:
         rates = [float(r) for r in args.sweep.split(",") if r.strip()]
     except ValueError:
@@ -287,22 +338,25 @@ def cmd_net(args: argparse.Namespace, out) -> int:
         out.write("error: --sweep names no drop rates\n")
         return 2
 
+    from .perf.route import ring_label
+
     out.write(
-        f"{config.chord.num_peers} peers, {args.lookups} lookups per rate, "
+        f"{config.chord.num_peers} peers [{ring_label(kind, arity)} ring], "
+        f"{args.lookups} lookups per rate, "
         f"latency={config.network.latency_model}, "
         f"timeout={config.network.timeout_ms:.0f}ms, "
         f"retries={config.network.max_retries}\n"
     )
     out.write(
-        "drop        ok    failed    retries    p50_ms    p99_ms"
-        "  p99.9_ms    by category\n"
+        "drop        ok    failed    retries  hops_mean  hops_p99"
+        "  lkp_msgs    p50_ms    p99_ms  p99.9_ms    by category\n"
     )
     for rate in rates:
         net_cfg = dataclasses.replace(
             config.network, transport="lossy", drop_probability=rate
         )
         transport = build_transport(net_cfg)
-        ring = ChordRing(config.chord, transport=transport)
+        ring = build_ring(kind, config.chord, arity=arity, transport=transport)
         rng = _random.Random(args.seed)
         ok = failed = 0
         for __ in range(args.lookups):
@@ -320,6 +374,8 @@ def cmd_net(args: argparse.Namespace, out) -> int:
         )
         out.write(
             f"{rate:>4.2f}  {ok:>8}  {failed:>8}  {s.retries:>9}"
+            f"  {s.hops_mean:>9.2f}  {s.hops_p99:>8.0f}"
+            f"  {s.lookup_messages:>8}"
             f"  {s.latency_p50_ms:>8.1f}  {s.latency_p99_ms:>8.1f}"
             f"  {s.latency_p99_9_ms:>8.1f}"
             f"    {categories}\n"
@@ -390,9 +446,20 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
             "the perf workload measures the in-process hot path and only "
             "supports --transport perfect"
         )
-    error = _store_args_error(args)
+    error = _store_args_error(args) or _ring_args_error(args)
     if error:
         out.write(error)
+        return 2
+    if args.mode != "route" and args.rings:
+        out.write("error: --rings only applies to --mode route\n")
+        return 2
+    if args.mode == "route":
+        return _cmd_perf_route(args, out)
+    if args.mode not in ("e2e", "route") and (args.ring or args.ring_arity):
+        out.write(
+            "error: --ring/--ring-arity only apply to --mode e2e "
+            "and --mode route\n"
+        )
         return 2
     if args.mode == "topk":
         return _cmd_perf_topk(args, out)
@@ -404,9 +471,14 @@ def cmd_perf(args: argparse.Namespace, out) -> int:
         return _cmd_perf_scale(args, out)
     if args.mode == "concurrency":
         return _cmd_perf_concurrency(args, out)
+    kind, arity = _resolve_ring(args)
     cfg = smoke_config() if args.small else paper_scale_config()
     cfg = cfg.replaced(
-        optimized=not args.baseline, seed=args.seed, kernel=args.kernel
+        optimized=not args.baseline,
+        seed=args.seed,
+        kernel=args.kernel,
+        ring=kind,
+        ring_arity=arity,
     )
     mode = "baseline (optimizations off)" if args.baseline else "optimized"
     out.write(
@@ -563,6 +635,56 @@ def _cmd_perf_concurrency(args: argparse.Namespace, out) -> int:
         "  ranking checksums (all cells + synchronous re-execution) "
         + ("MATCH\n" if result.checksums_match else "DIVERGED\n")
     )
+    _write_memory_line(out)
+    return 0 if result.checksums_match else 1
+
+
+def _cmd_perf_route(args: argparse.Namespace, out) -> int:
+    """Run the ring × arity × peers routing sweep (DESIGN.md §16)."""
+    from .perf.route import (
+        parse_ring_specs,
+        ring_label,
+        route_paper_config,
+        route_smoke_config,
+        run_route_workload,
+    )
+
+    if args.rings and (args.ring or args.ring_arity):
+        out.write(
+            "error: pass exactly one ring source: --rings GRID or "
+            "--ring/--ring-arity\n"
+        )
+        return 2
+    cfg = route_smoke_config() if args.small else route_paper_config()
+    overrides = {"seed": args.seed, "workers": args.workers}
+    if args.rings:
+        parse_ring_specs(args.rings)  # usage errors surface before the run
+        overrides["ring_specs"] = (args.rings,)
+    elif args.ring or args.ring_arity:
+        overrides["ring_specs"] = (ring_label(*_resolve_ring(args)),)
+    if args.peers_grid:
+        overrides["peers_grid"] = _parse_grid(args.peers_grid, int, "--peers-grid")
+    cfg = cfg.replaced(**overrides)
+    out.write(
+        f"route sweep: peers {','.join(str(p) for p in cfg.peers_grid)} × "
+        f"rings {','.join(cfg.ring_specs)}, {cfg.num_queries} queries/cell, "
+        f"churn every {cfg.churn_every}, {cfg.workers} workers\n"
+    )
+    result = run_route_workload(cfg)
+    if args.json:
+        out.write(json.dumps(result.to_dict(), indent=2) + "\n")
+        return 0 if result.checksums_match else 1
+    out.write(result.summary_table() + "\n")
+    if "chord" in result.rings:
+        for peers in result.peers_grid:
+            for ring in result.rings:
+                if ring == "chord":
+                    continue
+                out.write(
+                    f"  {ring} vs chord @ {peers} peers: "
+                    f"{result.hop_reduction(peers, ring):.1%} fewer mean hops\n"
+                )
+    out.write(f"  wall {result.wall_s:.2f}s\n")
     _write_memory_line(out)
     return 0 if result.checksums_match else 1
 
@@ -794,7 +916,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
             "or --catalogue NAME\n"
         )
         return 2
-    error = _store_args_error(args)
+    error = _store_args_error(args) or _ring_args_error(args)
     if error:
         out.write(error)
         return 2
@@ -805,6 +927,12 @@ def cmd_check(args: argparse.Namespace, out) -> int:
             out.write(
                 "error: --catalogue scenarios define their own engine "
                 "configuration; drop --store-backend\n"
+            )
+            return 2
+        if args.ring or args.ring_arity:
+            out.write(
+                "error: --catalogue scenarios define their own engine "
+                "configuration; drop --ring\n"
             )
             return 2
         return _cmd_check_catalogue(args, out)
@@ -827,6 +955,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
             f"random scenario: seed={args.seed}, {len(scenario)} events"
             + (" (durable-store events mixed in)\n" if durable else "\n")
         )
+    kind, arity = _resolve_ring(args)
     engine = build_simulation(
         seed=args.seed,
         num_peers=args.peers,
@@ -835,6 +964,8 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         store_dir=args.store_dir,
         snapshot_dir=args.snapshot_dir,
         snapshot_interval=args.snapshot_interval,
+        ring=kind,
+        ring_arity=arity,
     )
     report = engine.run(scenario)
     for line in report.summary_lines():
@@ -911,6 +1042,7 @@ def build_parser() -> argparse.ArgumentParser:
         "net", help="transport robustness sweep over message-drop rates"
     )
     _add_common(p)
+    _add_ring(p)
     p.add_argument(
         "--sweep",
         default="0.0,0.05,0.1,0.2",
@@ -939,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mode",
-        choices=("e2e", "topk", "ingest", "store", "scale", "concurrency"),
+        choices=("e2e", "topk", "ingest", "store", "scale", "concurrency", "route"),
         default="e2e",
         help="e2e: one workload run; topk: the four-mode top-k comparison "
         "(legacy / batched / early-termination / result-cached); ingest: "
@@ -949,7 +1081,9 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot-vs-full crash-recovery comparison; scale: the "
         "process-sharded 100k-peer workload (DESIGN.md §13); concurrency: "
         "the event-driven closed/open-loop tail-latency grid with per-peer "
-        "service queues and slow-peer stragglers (DESIGN.md §15)",
+        "service queues and slow-peer stragglers (DESIGN.md §15); route: "
+        "the ring × arity × peers hop-count sweep comparing Chord against "
+        "recursive ReCord overlays (DESIGN.md §16)",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     scale = p.add_argument_group("scale-out engine (DESIGN.md §13)")
@@ -957,8 +1091,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for --mode scale (results are identical "
-        "for any worker count; shards fix the partitioning)",
+        help="worker processes for --mode scale / --mode route (results "
+        "are identical for any worker count)",
     )
     scale.add_argument(
         "--shards",
@@ -987,6 +1121,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop Poisson arrival rates (ops/s) for --mode "
         "concurrency, comma-separated (default: the config grid)",
     )
+    _add_ring(p)
+    route = p.add_argument_group("routing sweep (DESIGN.md §16)")
+    route.add_argument(
+        "--rings",
+        default="",
+        help="ring-grid spec for --mode route, comma-separated "
+        "(e.g. chord,record:4,record:8; default: the config grid; "
+        "mutually exclusive with --ring/--ring-arity)",
+    )
+    route.add_argument(
+        "--peers-grid",
+        default="",
+        help="peer counts for --mode route, comma-separated "
+        "(default: the config grid)",
+    )
     _add_store(p)
     p.set_defaults(handler=cmd_perf)
 
@@ -994,6 +1143,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="run the repro.sim scenario + invariant + oracle harness"
     )
     _add_common(p)
+    _add_ring(p)
     p.add_argument(
         "--scenario", default="", help="replay a saved scenario JSON file"
     )

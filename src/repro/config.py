@@ -36,6 +36,12 @@ STORE_BACKENDS: Tuple[str, ...] = ("memory", "sqlite")
 #: query processor is built, not here, so configs stay plain data.
 SCORING_KERNELS: Tuple[str, ...] = ("python", "numpy")
 
+#: Overlay ring kinds :class:`SpriteConfig` may name (DESIGN.md §16):
+#: ``"chord"`` is the paper's Stoica-et-al. ring, ``"record"`` the
+#: ReCord-style recursive ring whose ``ring_arity`` trades finger-table
+#: width for shorter routes.
+RING_KINDS: Tuple[str, ...] = ("chord", "record")
+
 
 @dataclass(frozen=True)
 class SyntheticCorpusConfig:
@@ -175,6 +181,17 @@ class SpriteConfig:
     #: are bit-identical either way — the sixth oracle comparison and
     #: the kernel property tests hold the two paths to exact equality.
     scoring_kernel: str = "python"
+    #: Overlay routing structure (DESIGN.md §16): ``"chord"`` keeps the
+    #: paper's ring; ``"record"`` swaps in the ReCord-style recursive
+    #: ring.  Routing changes where lookup messages travel, never what
+    #: queries return — rankings and write-state fingerprints are
+    #: bit-identical across ring kinds (the eighth oracle comparison).
+    ring: str = "chord"
+    #: ReCord branching factor ``b``; only meaningful with
+    #: ``ring="record"`` (2 degenerates to Chord's schedule exactly).
+    #: A ``ring="chord"`` config must keep the default 2 — rejecting
+    #: the combination beats silently ignoring the knob.
+    ring_arity: int = 2
 
     def __post_init__(self) -> None:
         _require(self.initial_terms >= 1, "initial_terms must be >= 1")
@@ -196,6 +213,15 @@ class SpriteConfig:
         _require(
             self.scoring_kernel in SCORING_KERNELS,
             f"scoring_kernel must be one of {SCORING_KERNELS}",
+        )
+        _require(
+            self.ring in RING_KINDS,
+            f"ring must be one of {RING_KINDS}",
+        )
+        _require(self.ring_arity >= 2, "ring_arity must be >= 2")
+        _require(
+            self.ring == "record" or self.ring_arity == 2,
+            "ring_arity only applies to ring='record'",
         )
 
     @property

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..config import ChordConfig, SpriteConfig
 from ..corpus.corpus import Corpus
 from ..corpus.relevance import Query
+from ..dht.recursive import build_ring
 from ..dht.ring import ChordRing
 from ..exceptions import LearningError
 from ..ir.ranking import RankedList
@@ -59,8 +60,18 @@ class DistributedSystem:
         self.corpus = corpus
         self.config = sprite_config if sprite_config is not None else SpriteConfig()
         self.scorer = scorer if scorer is not None else combined_score
+        # Ring selection (DESIGN.md §16): the config names the routing
+        # structure; a pre-built ring always wins, keeping churn
+        # experiments that prepare the overlay separately unchanged.
         self.ring = (
-            ring if ring is not None else ChordRing(chord_config, transport=transport)
+            ring
+            if ring is not None
+            else build_ring(
+                getattr(self.config, "ring", "chord"),
+                chord_config,
+                arity=getattr(self.config, "ring_arity", 2),
+                transport=transport,
+            )
         )
         # None for the default in-RAM backend; a StoreRuntime when the
         # configuration selects the disk-backed store (DESIGN.md §12).

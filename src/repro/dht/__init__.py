@@ -2,7 +2,7 @@
 
 from .bloom import BloomFilter, intersection_plan
 from .churn import ChurnEvent, ChurnModel
-from .hashing import IdSpace, md5_hash
+from .hashing import IdSpace, md5_hash, recursive_finger_steps
 from .messages import (
     ADDRESS_BYTES,
     ALL_KINDS,
@@ -17,6 +17,7 @@ from .messages import (
     search_message,
 )
 from .node import ChordNode
+from .recursive import RecordRing, build_ring
 from .replication import ReplicationManager
 from .ring import ChordRing, LookupResult
 from .stats import KindStats, NetworkStats
@@ -37,10 +38,13 @@ __all__ = [
     "NetworkStats",
     "POSTING_BYTES",
     "QUERY_HEADER_BYTES",
+    "RecordRing",
     "ReplicationManager",
     "TERM_BYTES",
+    "build_ring",
     "intersection_plan",
     "md5_hash",
+    "recursive_finger_steps",
     "postings_message",
     "publish_message",
     "query_batch_message",

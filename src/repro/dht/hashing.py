@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
 
 @lru_cache(maxsize=1 << 18)
@@ -29,6 +29,42 @@ def md5_hash(key: str, bits: int) -> int:
     digest = hashlib.md5(key.encode("utf-8")).digest()
     value = int.from_bytes(digest, "big")
     return value >> (128 - bits) if bits < 128 else value
+
+
+@lru_cache(maxsize=256)
+def recursive_finger_steps(bits: int, arity: int) -> Tuple[int, ...]:
+    """Clockwise finger distances of a ReCord-style ring (PAPERS.md).
+
+    ReCord generalizes Chord recursively: level ``ℓ`` of the structure
+    is a ring whose neighbours sit ``arity**ℓ`` positions apart, and a
+    node participates in every level until a single level spans the
+    whole id space.  Flattened onto one routing table, that recursion
+    gives each node ``arity - 1`` fingers *per level* at the distances
+    ``j · arity**ℓ`` for ``j ∈ [1, arity)`` — the digits of a base-b
+    expansion of the remaining clockwise distance, which is why greedy
+    routing over this table resolves one base-b digit per hop and needs
+    only ``O(log_b n)`` hops against Chord's ``O(log₂ n)``.
+
+    ``arity=2`` yields exactly Chord's ``2**i`` schedule, so Chord is
+    the degenerate low-maintenance point of the family; larger arities
+    widen the table (``(b-1)·log_b 2^bits`` entries) to buy shorter
+    routes.  Steps are returned sorted ascending, all distinct, all
+    smaller than ``2**bits`` — the contract the ring's repair arcs and
+    :meth:`~repro.dht.node.ChordNode.closest_preceding_finger` rely on.
+    """
+    if arity < 2:
+        raise ValueError("finger arity must be >= 2")
+    size = 1 << bits
+    steps: List[int] = []
+    level = 1  # arity ** 0
+    while level < size:
+        for j in range(1, arity):
+            step = j * level
+            if step >= size:
+                break
+            steps.append(step)
+        level *= arity
+    return tuple(steps)
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,9 @@ class ChordNode:
     hop counts meaningful.
     """
 
-    def __init__(self, node_id: int, space: IdSpace) -> None:
+    def __init__(
+        self, node_id: int, space: IdSpace, num_fingers: Optional[int] = None
+    ) -> None:
         self.node_id = node_id
         self.space = space
         self.alive = True
@@ -31,8 +33,13 @@ class ChordNode:
         self.successor: int = node_id
         #: Successor list, nearest first (excludes self unless singleton).
         self.successor_list: List[int] = []
-        #: finger[i] = first live node ≥ (node_id + 2^i); m entries.
-        self.fingers: List[int] = [node_id] * space.bits
+        #: finger[i] = first live node ≥ (node_id + step_i), where the
+        #: steps come from the owning ring's finger schedule — Chord's
+        #: m entries at 2^i by default, ReCord's (b-1)·log_b 2^m wider
+        #: table when the ring routes with a higher arity.
+        self.fingers: List[int] = [node_id] * (
+            num_fingers if num_fingers is not None else space.bits
+        )
         #: Application payload: ring position → opaque slot object.
         self.store: Dict[int, object] = {}
         #: Replicated payloads received from predecessors.

@@ -96,6 +96,13 @@ class ChordRing:
         pre-transport simulator).  The transport owns its own seeded
         RNG, separate from the ring's membership RNG, so fault injection
         and id generation stay independently reproducible.
+    route_cache:
+        Optionally share an existing :class:`~repro.perf.RouteCache`
+        (e.g. one bounded cache across a multi-ring comparison harness).
+        The ring registers a private scope token with the cache, so
+        same-seed rings — which hold identical node ids — can never
+        serve each other's routes.  Defaults to a fresh private cache
+        sized by ``config.route_cache_size`` (0 disables caching).
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class ChordRing:
         config: ChordConfig | None = None,
         node_ids: Optional[List[int]] = None,
         transport: Transport | None = None,
+        route_cache: Optional[RouteCache] = None,
     ) -> None:
         self.config = config if config is not None else ChordConfig()
         self.space = IdSpace(self.config.id_bits)
@@ -120,10 +128,26 @@ class ChordRing:
         #: Whether every routing table matches the current membership
         #: (False inside the post-crash window of Section 7).
         self._converged = False
-        self.route_cache: Optional[RouteCache] = (
-            RouteCache(self.config.route_cache_size)
-            if self.config.route_cache_size > 0
-            else None
+        #: Clockwise finger distances every node's table covers —
+        #: Chord's ``2^i`` schedule here; :class:`RecordRing` overrides
+        #: :meth:`_finger_schedule` with the wider ReCord schedule.
+        self.finger_steps: Tuple[int, ...] = self._finger_schedule()
+        #: Total routing-table entry writes (pointers, successor-list
+        #: slots, fingers) performed by stabilization and incremental
+        #: repair — the maintenance-traffic proxy the route bench
+        #: reports: every written entry is state a real deployment
+        #: would have to refresh over the wire.
+        self.routing_entries_written = 0
+        if route_cache is not None:
+            self.route_cache: Optional[RouteCache] = route_cache
+        else:
+            self.route_cache = (
+                RouteCache(self.config.route_cache_size)
+                if self.config.route_cache_size > 0
+                else None
+            )
+        self._cache_scope = (
+            self.route_cache.register_ring() if self.route_cache is not None else 0
         )
 
         ids = node_ids if node_ids is not None else self._generate_ids(self.config.num_peers)
@@ -132,6 +156,12 @@ class ChordRing:
         self.stabilize()
 
     # -- construction -----------------------------------------------------
+
+    def _finger_schedule(self) -> Tuple[int, ...]:
+        """The clockwise distances each node keeps a finger for, sorted
+        ascending.  Chord's classic ``2^i`` doubling; subclasses widen
+        it (see :class:`~repro.dht.recursive.RecordRing`)."""
+        return tuple(1 << i for i in range(self.space.bits))
 
     def _generate_ids(self, count: int) -> List[int]:
         """Hash synthetic peer names onto the ring, skipping collisions."""
@@ -151,7 +181,7 @@ class ChordRing:
     def _insert_node(self, node_id: int) -> ChordNode:
         if node_id in self.nodes:
             raise DHTError(f"duplicate node id: {node_id}")
-        node = ChordNode(node_id, self.space)
+        node = ChordNode(node_id, self.space, num_fingers=len(self.finger_steps))
         self.nodes[node_id] = node
         insort(self._live_sorted, node_id)
         self._live_view = None
@@ -264,6 +294,9 @@ class ChordRing:
         t0 = perf_counter() if PROFILE.enabled else 0.0
         r = self.config.successor_list_size
         n = len(self._live_sorted)
+        size = self.space.size
+        steps = self.finger_steps
+        written = 0
         for node_id in self._live_sorted:
             node = self.nodes[node_id]
             idx = bisect_left(self._live_sorted, node_id)
@@ -273,9 +306,10 @@ class ChordRing:
                 self._live_sorted[(idx + 1 + j) % n] for j in range(min(r, n - 1))
             ] or [node_id]
             node.fingers = [
-                self.successor_of(self.space.finger_start(node_id, i))
-                for i in range(self.space.bits)
+                self.successor_of((node_id + step) % size) for step in steps
             ]
+            written += 2 + len(node.successor_list) + len(steps)
+        self.routing_entries_written += written
         self._converged = True
         self._bump_epoch()
         if PROFILE.enabled:
@@ -293,6 +327,7 @@ class ChordRing:
         node.successor_list = [
             ids[(idx + 1 + t) % n] for t in range(min(r, n - 1))
         ] or [node.node_id]
+        self.routing_entries_written += 1 + len(node.successor_list)
 
     def _repair_join(self, node_id: int) -> None:
         """Incremental routing repair after a single join.
@@ -300,10 +335,12 @@ class ChordRing:
         Only the entries the join can affect are touched: the new
         node's own tables, its successor's predecessor pointer, the
         successor lists of its ``r`` predecessors, and — per finger
-        index ``i`` — the arc of nodes whose finger start
-        ``n + 2^i`` landed in the interval the new node took over.
-        Expected cost ``O(log N · log N + r)`` versus the full
-        rebuild's ``O(N · log N)``.
+        step ``s`` of the ring's schedule — the arc of nodes whose
+        finger start ``n + s`` landed in the interval the new node took
+        over.  Expected cost ``O(F · log N + r)`` for an ``F``-entry
+        finger schedule versus the full rebuild's ``O(N · F)``; the
+        same arc argument covers Chord's ``2^i`` steps and ReCord's
+        ``j·b^ℓ`` steps alike.
         """
         t0 = perf_counter() if PROFILE.enabled else 0.0
         ids = self._live_sorted
@@ -322,21 +359,21 @@ class ChordRing:
         for k in range(min(r, n - 1) + 1):
             self._refresh_neighborhood((idx - k) % n)
         # The new node's fingers come from the (already updated) oracle.
+        size = space.size
         node.fingers = [
-            self.successor_of(space.finger_start(node_id, i))
-            for i in range(space.bits)
+            self.successor_of((node_id + step) % size) for step in self.finger_steps
         ]
+        self.routing_entries_written += 2 + len(node.fingers)
         # Fingers of other nodes: every start in (pred, new] previously
         # resolved to the old owner (new's successor) and now resolves
         # to the new node.  The nodes carrying such a start for finger
-        # index i form the arc (pred - 2^i, new - 2^i].
-        size = space.size
-        for i in range(space.bits):
-            step = 1 << i
+        # step s form the arc (pred - s, new - s].
+        for i, step in enumerate(self.finger_steps):
             for nid in self._ids_in_range(
                 (pred_id - step) % size, (node_id - step) % size
             ):
                 self.nodes[nid].fingers[i] = node_id
+                self.routing_entries_written += 1
         self._converged = True
         self._bump_epoch()
         if PROFILE.enabled:
@@ -363,12 +400,13 @@ class ChordRing:
         # Fingers that pointed at the departed node (starts in
         # (pred, departed]) now resolve to its successor.
         size = space.size
-        for i in range(space.bits):
-            step = 1 << i
+        self.routing_entries_written += 1
+        for i, step in enumerate(self.finger_steps):
             for nid in self._ids_in_range(
                 (pred_id - step) % size, (departed - step) % size
             ):
                 self.nodes[nid].fingers[i] = succ_id
+                self.routing_entries_written += 1
         self._converged = True
         self._bump_epoch()
         if PROFILE.enabled:
@@ -436,8 +474,9 @@ class ChordRing:
             raise NodeFailedError(start_id)
 
         cache = self.route_cache
+        scope = self._cache_scope
         if cache is not None:
-            entry = cache.get(start_id, key)
+            entry = cache.get(start_id, key, ring=scope)
             if entry is not None:
                 target, entry_epoch = entry
                 if entry_epoch != self.epoch:
@@ -446,14 +485,17 @@ class ChordRing:
                     # responsible, else the entry is stale.
                     tnode = self.nodes.get(target)
                     if tnode is not None and tnode.alive and tnode.owns(key):
-                        cache.refresh(start_id, key, target, self.epoch)
+                        cache.refresh(start_id, key, target, self.epoch, ring=scope)
                     else:
-                        cache.invalidate(start_id, key)
+                        cache.invalidate(start_id, key, ring=scope)
                         entry = None
                 if entry is not None:
                     cache.hits += 1
                     if self.transport.active:
                         self._deliver_hop(start_id, target)
+                    trace = self.transport.trace
+                    if trace is not None:
+                        trace.record_hops(1)
                     if record:
                         self.stats.record_lookup(1)
                     if profiling:
@@ -529,7 +571,10 @@ class ChordRing:
             current = self.node(nxt)
 
         if cache is not None and result.node_id != start_id:
-            cache.store(start_id, key, result.node_id, self.epoch)
+            cache.store(start_id, key, result.node_id, self.epoch, ring=scope)
+        trace = self.transport.trace
+        if trace is not None:
+            trace.record_hops(result.hops)
         if record:
             self.stats.record_lookup(result.hops)
         if profiling:
@@ -567,6 +612,8 @@ class ChordRing:
             if prior is not None:
                 for record in log.records:
                     prior.record(record)
+                for hops in log.hop_samples:
+                    prior.record_hops(hops)
 
     def send(self, message: Message) -> None:
         """Deliver an application message through the transport and

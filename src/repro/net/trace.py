@@ -130,6 +130,17 @@ class TraceSummary:
     latency_p99_9_ms: float = 0.0
     latency_mean_ms: float = 0.0
     by_kind: Tuple[Tuple[str, int], ...] = field(default=())
+    #: Count of per-hop ``lookup`` routing messages in this rollup —
+    #: the wire cost of resolving responsible peers, broken out so
+    #: sweeps can report routing traffic beside application traffic.
+    lookup_messages: int = 0
+    #: Mean / nearest-rank-p99 hop count over the *lookups* completed
+    #: while this log was attached (one sample per lookup, recorded by
+    #: the ring; 0.0 when no lookups ran).  Lookup hops — not latency —
+    #: are the quantity the ReCord arity knob trades maintenance for,
+    #: so every transport sweep prints them.
+    hops_mean: float = 0.0
+    hops_p99: float = 0.0
 
     @property
     def retries(self) -> int:
@@ -147,12 +158,26 @@ class TraceLog:
 
     def __init__(self) -> None:
         self._records: List[MessageTrace] = []
+        self._hop_samples: List[int] = []
 
     def record(self, trace: MessageTrace) -> None:
         self._records.append(trace)
 
+    def record_hops(self, hops: int) -> None:
+        """Record the hop count of one completed lookup.
+
+        Hop samples are per-*lookup* (the ring records one on every
+        resolution, cache hits included), whereas :meth:`record` traces
+        are per-*message* — a single lookup emits several ``lookup``
+        traces, one per hop.  Keeping the two streams separate lets the
+        rollup report both the wire cost (lookup messages) and the
+        routing quality (hops per lookup).
+        """
+        self._hop_samples.append(hops)
+
     def clear(self) -> None:
         self._records.clear()
+        self._hop_samples.clear()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -161,6 +186,11 @@ class TraceLog:
     def records(self) -> List[MessageTrace]:
         """All traces recorded so far (copy)."""
         return list(self._records)
+
+    @property
+    def hop_samples(self) -> List[int]:
+        """Per-lookup hop counts recorded so far (copy)."""
+        return list(self._hop_samples)
 
     def filtered(
         self, kind: Optional[str] = None, outcome: Optional[str] = None
@@ -180,24 +210,32 @@ class TraceLog:
 
         Percentiles are computed over *delivered* messages only — a
         dropped message's elapsed time is retry overhead, not a latency
-        sample — while attempt/retry counters cover everything.
+        sample — while attempt/retry counters cover everything.  Hop
+        statistics (per-lookup samples) are attached to the full rollup
+        and to ``kind="lookup"``, the kind they describe.
         """
-        return self._rollup_records(self.filtered(kind=kind))
+        hops = self._hop_samples if kind in (None, "lookup") else ()
+        return self._rollup_records(self.filtered(kind=kind), hops)
 
     def category_rollup(self) -> Dict[str, TraceSummary]:
         """One :class:`TraceSummary` per traffic category present in
         the log (see :func:`category_of_kind`), so transport sweeps can
-        report write-path delivery/latency beside query traffic."""
+        report write-path delivery/latency beside query traffic.  Hop
+        statistics ride on the ``"routing"`` category."""
         buckets: Dict[str, List[MessageTrace]] = {}
         for t in self._records:
             buckets.setdefault(category_of_kind(t.kind), []).append(t)
         return {
-            category: self._rollup_records(records)
+            category: self._rollup_records(
+                records, self._hop_samples if category == "routing" else ()
+            )
             for category, records in sorted(buckets.items())
         }
 
     @staticmethod
-    def _rollup_records(records: List[MessageTrace]) -> TraceSummary:
+    def _rollup_records(
+        records: List[MessageTrace], hop_samples: Sequence[int] = ()
+    ) -> TraceSummary:
         delivered_latencies = [
             t.latency_ms for t in records if t.outcome == DELIVERED
         ]
@@ -221,6 +259,11 @@ class TraceLog:
             latency_p99_9_ms=percentile(delivered_latencies, 99.9),
             latency_mean_ms=mean,
             by_kind=tuple(sorted(kinds.items())),
+            lookup_messages=kinds.get("lookup", 0),
+            hops_mean=(
+                sum(hop_samples) / len(hop_samples) if hop_samples else 0.0
+            ),
+            hops_p99=percentile(list(hop_samples), 99),
         )
 
     def summary_table(self) -> str:

@@ -21,13 +21,17 @@ Three cooperating pieces:
   ``perf`` extra (numpy), used by the vectorized scoring kernels;
 * :mod:`repro.perf.scale` — the DESIGN.md §13 scale-out harness:
   process-sharded build/publish/query phases over a streamed corpus,
-  behind ``benchmarks/test_bench_scale.py`` and ``perf --mode scale``.
+  behind ``benchmarks/test_bench_scale.py`` and ``perf --mode scale``;
+* :mod:`repro.perf.route` — the DESIGN.md §16 routing sweep: the
+  ring × arity × peers hop-count grid behind
+  ``benchmarks/test_bench_route.py`` and ``perf --mode route``.
 
-``bench``, ``topk``, ``ingest``, and ``scale`` are deliberately *not*
-imported here: they build rings and query processors, and the ring
-itself imports this package for ``PROFILE`` / ``RouteCache`` — import
-them explicitly as ``repro.perf.bench`` / ``repro.perf.topk`` /
-``repro.perf.ingest`` / ``repro.perf.scale``.
+``bench``, ``topk``, ``ingest``, ``scale``, and ``route`` are
+deliberately *not* imported here: they build rings and query
+processors, and the ring itself imports this package for ``PROFILE`` /
+``RouteCache`` — import them explicitly as ``repro.perf.bench`` /
+``repro.perf.topk`` / ``repro.perf.ingest`` / ``repro.perf.scale`` /
+``repro.perf.route``.
 """
 
 from .compat import have_numpy, numpy_or_none, require_numpy

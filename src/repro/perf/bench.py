@@ -32,7 +32,7 @@ from ..core.metadata import PostingEntry
 from ..core.query_processing import QueryProcessor
 from ..corpus.relevance import Query
 from ..dht.messages import MessageKind
-from ..dht.ring import ChordRing
+from ..dht.recursive import build_ring
 from .profile import PROFILE
 
 
@@ -65,6 +65,11 @@ class PerfWorkloadConfig:
     #: Phase-B scoring kernel ("python" scalar / "numpy" vectorized,
     #: DESIGN.md §13); identical rankings either way.
     kernel: str = "python"
+    #: Overlay routing structure ("chord" / "record", DESIGN.md §16);
+    #: rankings are bit-identical across rings — only hop counts differ.
+    ring: str = "chord"
+    #: ReCord branching factor (only meaningful with ``ring="record"``).
+    ring_arity: int = 2
 
     def replaced(self, **kwargs) -> "PerfWorkloadConfig":
         merged = {**asdict(self), **kwargs}
@@ -154,7 +159,9 @@ def _run(cfg: PerfWorkloadConfig) -> PerfWorkloadResult:
         route_cache_size=65536 if cfg.optimized else 0,
         incremental_repair=cfg.optimized,
     )
-    ring = ChordRing(chord)
+    ring = build_ring(
+        getattr(cfg, "ring", "chord"), chord, arity=getattr(cfg, "ring_arity", 2)
+    )
     protocol = IndexingProtocol(ring, result_cache_size=cfg.result_cache_size)
     processor = QueryProcessor(
         protocol,

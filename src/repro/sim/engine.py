@@ -564,6 +564,8 @@ def build_simulation(
     snapshot_dir: str = "",
     snapshot_interval: int = 0,
     result_cache_size: int = 0,
+    ring: str = "chord",
+    ring_arity: int = 2,
 ) -> ScenarioEngine:
     """A ready-to-run micro simulation for the CLI and the fuzzers.
 
@@ -576,7 +578,9 @@ def build_simulation(
     (``snapshot``/``crash_disk``/``recover_disk``) are skipped.
     ``result_cache_size`` switches on the version-invalidated query
     -result cache the hot-term-storm scenarios hammer (0, the historical
-    default, leaves it off).
+    default, leaves it off).  ``ring``/``ring_arity`` select the overlay
+    routing structure (DESIGN.md §16); every scenario outcome except
+    hop counts is identical across ring kinds.
     """
     from ..corpus.synthetic import SyntheticTrecCorpus
 
@@ -607,6 +611,8 @@ def build_simulation(
             store_dir=store_dir,
             snapshot_dir=snapshot_dir,
             snapshot_interval=snapshot_interval,
+            ring=ring,
+            ring_arity=ring_arity,
         ),
         chord_config=ChordConfig(
             num_peers=num_peers,

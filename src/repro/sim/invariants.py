@@ -319,8 +319,12 @@ class InvariantChecker:
                     f"node {node_id}: successor list {node.successor_list} "
                     f"!= {expected_list}",
                 )
+            # The expected finger targets follow the ring's own step
+            # schedule (2^i for Chord, j·b^l for ReCord — DESIGN.md §16).
             for i, finger in enumerate(node.fingers):
-                expected = ring.successor_of(ring.space.finger_start(node_id, i))
+                expected = ring.successor_of(
+                    (node_id + ring.finger_steps[i]) % ring.space.size
+                )
                 if finger != expected:
                     self._fail(
                         report,

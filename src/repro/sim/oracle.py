@@ -1,6 +1,6 @@
 """The differential oracle: SPRITE checked against simpler truths.
 
-Seven comparisons, all on a churn-free ring:
+Eight comparisons, all on a churn-free ring:
 
 * **Perf-path equivalence** — the PR-2 optimizations (route caching,
   incremental repair, batched fetch with flat-dict scoring) are pure
@@ -63,6 +63,14 @@ Seven comparisons, all on a churn-free ring:
   :func:`write_state_fingerprint` of the quiescent system equal —
   query-cache registrations and all other mutations happen in the same
   order, because at concurrency 1 dispatch order *is* submission order.
+
+* **Ring-path equivalence** — the DESIGN.md §16 ReCord recursive ring
+  changes *where lookup messages travel, never what is returned*: key
+  ownership is the successor relation over the same seeded membership,
+  regardless of finger schedule.  The oracle replays the full seeded
+  flow through a ``ring="record"`` (b = 8) and a ``ring="chord"``
+  system; every test-query ranking and the full
+  :func:`write_state_fingerprint` must match bit for bit.
 
 * **Centralized baseline** — with learning taken out of the picture by
   indexing *every* term (F = ∞) and the assumed corpus size pinned to
@@ -587,6 +595,59 @@ class DifferentialOracle:
                 )
         return report
 
+    # -- comparison 3e: ReCord recursive ring vs Chord ring ------------------
+
+    def check_ring_paths(self) -> OracleReport:
+        """Replay the full seeded flow through a ReCord (b = 8) and a
+        Chord system; every test-query ranking and the full write-state
+        fingerprint must match exactly.  Routing selects message paths,
+        not results: both rings hold the same seeded membership, and
+        ownership is the successor relation — independent of how many
+        hops a lookup took to find it."""
+        report = OracleReport(name="ring-paths")
+        recursive = self._build_ring_sprite(ring="record", ring_arity=8)
+        chord = self._build_ring_sprite(ring="chord", ring_arity=2)
+        for system in (recursive, chord):
+            system.share_corpus()
+            system.register_queries(self.train)
+            system.run_learning()
+        record_state = write_state_fingerprint(recursive)
+        chord_state = write_state_fingerprint(chord)
+        for part in ("slots", "version_rank", "owners"):
+            if record_state[part] != chord_state[part]:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id="<state>",
+                        detail=(
+                            f"write-state {part} diverged between the "
+                            "record and chord rings"
+                        ),
+                    )
+                )
+        for query in self.test:
+            wide = _pairs(recursive.search(query, cache=False))
+            narrow = _pairs(chord.search(query, cache=False))
+            report.queries_compared += 1
+            if wide != narrow:
+                report.mismatches.append(
+                    RankingMismatch(
+                        query_id=query.query_id,
+                        detail=f"record={wide[:3]}... chord={narrow[:3]}...",
+                    )
+                )
+        return report
+
+    def _build_ring_sprite(self, ring: str, ring_arity: int) -> SpriteSystem:
+        from dataclasses import replace
+
+        return SpriteSystem(
+            self.corpus,
+            sprite_config=replace(
+                self._sprite_config(), ring=ring, ring_arity=ring_arity
+            ),
+            chord_config=self._chord_config(optimized=True),
+        )
+
     # -- comparison 4: full-index SPRITE vs centralized TF-IDF ---------------
 
     def check_centralized_baseline(self) -> OracleReport:
@@ -646,6 +707,7 @@ class DifferentialOracle:
             self.check_store_paths(),
             self.check_kernel_paths(),
             self.check_concurrent_runtime(),
+            self.check_ring_paths(),
             self.check_centralized_baseline(),
         ]
         return {r.name: r for r in reports}

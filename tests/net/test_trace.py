@@ -134,6 +134,78 @@ class TestRollup:
         assert trace(attempts=3).retries == 2
 
 
+class TestHopRollup:
+    """The per-lookup hop columns (ISSUE 10 satellite): hop samples are
+    recorded alongside message records and roll up into the summary's
+    ``hops_mean`` / ``hops_p99`` / ``lookup_messages`` fields."""
+
+    def test_defaults_are_zero_without_samples(self) -> None:
+        summary = TraceLog().rollup()
+        assert summary.hops_mean == 0.0
+        assert summary.hops_p99 == 0.0
+        assert summary.lookup_messages == 0
+
+    def test_hop_samples_roll_up(self) -> None:
+        log = TraceLog()
+        for hops in (2, 4, 6):
+            log.record_hops(hops)
+        for __ in range(12):  # the per-hop wire messages of those lookups
+            log.record(trace(kind="lookup"))
+        summary = log.rollup()
+        assert summary.hops_mean == pytest.approx(4.0)
+        assert summary.hops_p99 == 6.0
+        assert summary.lookup_messages == 12
+
+    def test_hop_fields_attach_to_lookup_kind_rollup_only(self) -> None:
+        log = TraceLog()
+        log.record_hops(3)
+        log.record(trace(kind="lookup"))
+        log.record(trace(kind="search_term"))
+        assert log.rollup(kind="lookup").hops_mean == pytest.approx(3.0)
+        assert log.rollup(kind="search_term").hops_mean == 0.0
+
+    def test_hop_fields_attach_to_routing_category(self) -> None:
+        log = TraceLog()
+        log.record_hops(5)
+        log.record(trace(kind="lookup"))
+        log.record(trace(kind="publish_batch"))
+        rollup = log.category_rollup()
+        assert rollup["routing"].hops_mean == pytest.approx(5.0)
+        assert rollup["write"].hops_mean == 0.0
+
+    def test_hop_samples_property_copies(self) -> None:
+        log = TraceLog()
+        log.record_hops(2)
+        samples = log.hop_samples
+        samples.append(99)
+        assert log.hop_samples == [2]
+
+    def test_clear_drops_hop_samples(self) -> None:
+        log = TraceLog()
+        log.record_hops(4)
+        log.clear()
+        assert log.hop_samples == []
+        assert log.rollup().hops_mean == 0.0
+
+    def test_capture_messages_forwards_hop_samples(self) -> None:
+        """Nested capture must not lose hop samples recorded while the
+        outer trace was detached (mirrors the message-record contract)."""
+        from repro.config import ChordConfig
+        from repro.dht.ring import ChordRing
+        from repro.net import build_transport
+        from repro.config import NetworkConfig
+
+        transport = build_transport(NetworkConfig(transport="lossy", drop_probability=0.0))
+        ring = ChordRing(
+            ChordConfig(num_peers=16, route_cache_size=0), transport=transport
+        )
+        start = ring.live_ids[0]
+        with ring.capture_messages() as inner:
+            ring.lookup(start, (start + 1) % ring.space.size, record=False)
+        assert len(inner.hop_samples) == 1
+        assert transport.trace.hop_samples == inner.hop_samples
+
+
 class TestSummaryTable:
     def test_deterministic_and_complete(self) -> None:
         def build() -> TraceLog:

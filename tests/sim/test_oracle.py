@@ -151,6 +151,7 @@ class TestCheckAll:
             "store-paths",
             "kernel-paths",
             "concurrent-runtime",
+            "ring-paths",
             "centralized-baseline",
         }
         assert all(r.ok for r in reports.values())

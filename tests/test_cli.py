@@ -90,14 +90,17 @@ class TestNet:
         lines = [l for l in output.splitlines() if l.strip()]
         # lines[0] is the run preamble; the table follows.
         assert lines[1].split() == [
-            "drop", "ok", "failed", "retries", "p50_ms", "p99_ms", "p99.9_ms",
-            "by", "category",
+            "drop", "ok", "failed", "retries", "hops_mean", "hops_p99",
+            "lkp_msgs", "p50_ms", "p99_ms", "p99.9_ms", "by", "category",
         ]
         rows = [l.split() for l in lines[2:]]
         assert [r[0] for r in rows] == ["0.00", "0.20"]
         retries = [int(r[3]) for r in rows]
         assert retries[0] == 0  # no loss, no retries
         assert retries[1] > retries[0]
+        # Hop columns are live: lookups route, so messages and means > 0.
+        assert all(float(r[4]) > 0 for r in rows)
+        assert all(int(r[6]) > 0 for r in rows)
 
     def test_sweep_rows_carry_category_breakdown(self) -> None:
         code, output = run_cli(
@@ -241,6 +244,111 @@ class TestPerf:
             )
             assert code == 2
             assert output.startswith("error:")
+
+
+class TestPerfRoute:
+    ROUTE = ("perf", "--mode", "route", "--small", "--peers-grid", "200")
+
+    def test_route_sweep_prints_grid_and_reductions(self) -> None:
+        code, output = run_cli(*self.ROUTE, "--rings", "chord,record:8")
+        assert code == 0
+        assert "hops_mean" in output and "churn_entries" in output
+        assert "cross-ring ranking checksums: MATCH" in output
+        assert "record:8 vs chord @ 200 peers:" in output
+        assert "fewer mean hops" in output
+
+    def test_route_single_ring_via_ring_flags(self) -> None:
+        code, output = run_cli(*self.ROUTE, "--ring", "record", "--ring-arity", "8")
+        assert code == 0
+        assert "record:8" in output
+        assert "chord" not in output.splitlines()[0].split("rings ")[1]
+
+    def test_route_json_record(self) -> None:
+        import json
+
+        code, output = run_cli(*self.ROUTE, "--rings", "chord,record:8", "--json")
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["checksums_match"] is True
+        assert payload["rings"] == ["chord", "record:8"]
+        assert len(payload["cells"]) == 2
+
+    def test_route_rejects_two_ring_sources(self) -> None:
+        code, output = run_cli(
+            *self.ROUTE, "--rings", "chord", "--ring", "record"
+        )
+        assert code == 2
+        assert "exactly one ring source" in output
+
+    @pytest.mark.parametrize(
+        "flags,needle",
+        (
+            (("--rings", "chord:4"), "arity only applies"),
+            (("--rings", "record:x"), "must be an integer"),
+            (("--rings", "record:1"), ">= 2"),
+            (("--rings", "chord,chord"), "duplicate ring spec"),
+            (("--ring", "chord", "--ring-arity", "8"), "--ring record"),
+            (("--ring-arity", "8"), "--ring record"),
+            (("--ring", "record", "--ring-arity", "1"), ">= 2"),
+            (("--peers-grid", "0", "--rings", "chord"), "positive"),
+        ),
+    )
+    def test_route_usage_errors_exit_2(self, flags, needle) -> None:
+        code, output = run_cli("perf", "--mode", "route", "--small", *flags)
+        assert code == 2
+        assert output.startswith("error:")
+        assert needle in output
+
+    def test_rings_flag_requires_route_mode(self) -> None:
+        code, output = run_cli("perf", "--small", "--rings", "chord")
+        assert code == 2
+        assert "--rings only applies to --mode route" in output
+
+    def test_ring_flags_rejected_on_non_ring_modes(self) -> None:
+        code, output = run_cli(
+            "perf", "--small", "--mode", "scale", "--ring", "record"
+        )
+        assert code == 2
+        assert "--mode e2e" in output
+
+
+class TestRingFlags:
+    def test_net_ring_flags_select_record_ring(self) -> None:
+        code, output = run_cli(
+            "net", "--small", "--sweep", "0.0", "--lookups", "40",
+            "--ring", "record", "--ring-arity", "8",
+        )
+        assert code == 0
+        assert "[record:8 ring]" in output
+
+    def test_perf_e2e_record_ring_runs(self) -> None:
+        code, output = run_cli(
+            "perf", "--small", "--ring", "record", "--ring-arity", "8"
+        )
+        assert code == 0
+        assert "ranking checksum" in output
+
+    def test_check_record_ring_runs_clean(self) -> None:
+        code, output = run_cli(
+            "check", "--random", "--seed", "0", "--events", "12",
+            "--peers", "12", "--skip-oracle",
+            "--ring", "record", "--ring-arity", "4",
+        )
+        assert code == 0
+        assert "all invariants held" in output
+
+    def test_check_and_net_share_ring_validation(self) -> None:
+        for command in (("net", "--small"), ("check", "--random")):
+            code, output = run_cli(*command, "--ring-arity", "8")
+            assert code == 2
+            assert output == "error: --ring-arity only applies to --ring record\n"
+
+    def test_catalogue_rejects_ring_flags(self) -> None:
+        code, output = run_cli(
+            "check", "--catalogue", "flash_crowd", "--ring", "record"
+        )
+        assert code == 2
+        assert "drop --ring" in output
 
 
 class TestGenerate:
